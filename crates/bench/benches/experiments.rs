@@ -1,0 +1,304 @@
+//! One Criterion bench per paper table/figure.
+//!
+//! Each bench runs the pipeline that regenerates the corresponding
+//! experiment. The cheap experiments run at full experiment scale; the
+//! heavy ones run a reduced-scale analog of the same pipeline so a full
+//! `cargo bench` stays tractable — full-scale regeneration is
+//! `cargo run --release -p uvm-bench --bin paper`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use uvm_core::driver::policy::DriverPolicy;
+use uvm_core::experiments::{fig03_vecadd, fig05_prefetch_ub};
+use uvm_core::workloads::cpu_init::CpuInitPolicy;
+use uvm_core::workloads::{gauss_seidel, hpgmg, random, regular, sgemm, stream};
+use uvm_core::{SystemConfig, UvmSystem};
+
+const MB: u64 = 1024 * 1024;
+
+fn small_config(mem_mb: u64) -> SystemConfig {
+    SystemConfig::test_small(mem_mb * MB)
+}
+
+fn mini_sgemm() -> uvm_core::workloads::workload::Workload {
+    sgemm::build(sgemm::GemmParams {
+        n: 512,
+        tile: 128,
+        elem_size: 4,
+        pages_per_instr: 32,
+        compute_per_ktile: uvm_core::sim::time::SimDuration::from_micros(10),
+        cpu_init: Some(CpuInitPolicy::SingleThread),
+    })
+}
+
+fn mini_stream(iters: u32) -> uvm_core::workloads::workload::Workload {
+    stream::build(stream::StreamParams {
+        warps: 64,
+        pages_per_warp: 8,
+        iters,
+        warps_per_page: 2,
+        cpu_init: Some(CpuInitPolicy::SingleThread),
+    })
+}
+
+fn bench_fig1_latency(c: &mut Criterion) {
+    c.bench_function("fig1_latency", |b| {
+        let w = mini_stream(1);
+        b.iter(|| {
+            let uvm = UvmSystem::new(small_config(64)).run(black_box(&w)).kernel_time;
+            let explicit = UvmSystem::new(small_config(64)).run_explicit(black_box(&w));
+            uvm.as_nanos() as f64
+                / (explicit.kernel_time + explicit.upfront_copy_time).as_nanos() as f64
+        });
+    });
+}
+
+fn bench_fig3_vecadd(c: &mut Criterion) {
+    // Cheap enough to run at full experiment scale.
+    c.bench_function("fig3_vecadd", |b| {
+        b.iter(|| fig03_vecadd::run(black_box(1)).batches.len());
+    });
+}
+
+fn bench_fig5_prefetch(c: &mut Criterion) {
+    c.bench_function("fig5_prefetch", |b| {
+        b.iter(|| fig05_prefetch_ub::run(black_box(1)).first_batch_size);
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_per_sm", |b| {
+        let w = regular::build(regular::RegularParams {
+            warps: 64,
+            pages_per_warp: 16,
+            pages_per_instr: 4,
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        b.iter(|| {
+            let r = UvmSystem::new(small_config(64)).run(black_box(&w));
+            r.records.iter().map(|x| x.raw_faults).sum::<u64>() as f64
+                / r.num_batches.max(1) as f64
+        });
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_cost_vs_data", |b| {
+        let w = mini_sgemm();
+        b.iter(|| {
+            let r = UvmSystem::new(small_config(64)).run(black_box(&w));
+            let pts: Vec<(f64, f64)> = r
+                .records
+                .iter()
+                .map(|x| (x.bytes_migrated as f64, x.service_time().as_nanos() as f64))
+                .collect();
+            uvm_core::stats::linear_fit(&pts).map(|f| f.slope)
+        });
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_transfer_fraction", |b| {
+        let w = mini_sgemm();
+        b.iter(|| {
+            let r = UvmSystem::new(small_config(64)).run(black_box(&w));
+            r.records.iter().map(|x| x.transfer_fraction()).fold(0.0, f64::max)
+        });
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_dedup_series", |b| {
+        let w = mini_stream(1);
+        b.iter(|| {
+            let r = UvmSystem::new(small_config(64)).run(black_box(&w));
+            r.records.iter().map(|x| x.total_dups()).sum::<u64>()
+        });
+    });
+}
+
+fn bench_fig9_batchsize(c: &mut Criterion) {
+    c.bench_function("fig9_batchsize", |b| {
+        let w = mini_sgemm();
+        b.iter(|| {
+            let mut out = Vec::new();
+            for limit in [64usize, 256] {
+                let config =
+                    small_config(64).with_policy(DriverPolicy::default().batch_limit(limit));
+                out.push(UvmSystem::new(config).run(black_box(&w)).kernel_time);
+            }
+            out
+        });
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_vablocks", |b| {
+        let w = random::build(random::RandomParams {
+            warps: 64,
+            accesses_per_warp: 16,
+            footprint_pages: 8192,
+            seed: 7,
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        b.iter(|| {
+            let r = UvmSystem::new(small_config(64)).run(black_box(&w));
+            r.records.iter().map(|x| x.num_va_blocks).sum::<u64>()
+        });
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_vablocks", |b| {
+        let w = gauss_seidel::build(gauss_seidel::GaussSeidelParams {
+            rows: 256,
+            pages_per_row: 2,
+            warps: 16,
+            iters: 1,
+            compute_per_row: uvm_core::sim::time::SimDuration::from_micros(1),
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        b.iter(|| {
+            let r = UvmSystem::new(small_config(64)).run(black_box(&w));
+            r.records.iter().flat_map(|x| x.per_block_faults.iter()).sum::<u32>()
+        });
+    });
+}
+
+fn bench_fig11_unmap(c: &mut Criterion) {
+    c.bench_function("fig11_unmap_threads", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for policy in [CpuInitPolicy::SingleThread, CpuInitPolicy::Striped { threads: 16 }] {
+                let w = stream::build(stream::StreamParams {
+                    warps: 32,
+                    pages_per_warp: 16,
+                    iters: 1,
+                    warps_per_page: 1,
+                    cpu_init: Some(policy),
+                });
+                let r = UvmSystem::new(small_config(64)).run(&w);
+                out.push(r.records.iter().map(|x| x.t_unmap.as_nanos()).sum::<u64>());
+            }
+            out
+        });
+    });
+}
+
+fn bench_fig12_oversub(c: &mut Criterion) {
+    c.bench_function("fig12_oversub", |b| {
+        let w = mini_stream(1);
+        b.iter(|| UvmSystem::new(small_config(2)).run(black_box(&w)).evictions);
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_evict_levels", |b| {
+        let w = mini_stream(2);
+        b.iter(|| {
+            let r = UvmSystem::new(small_config(4)).run(black_box(&w));
+            r.records
+                .iter()
+                .filter(|x| x.evictions > 0 && x.t_unmap.as_nanos() == 0)
+                .count()
+        });
+    });
+}
+
+fn bench_fig14_prefetch(c: &mut Criterion) {
+    c.bench_function("fig14_prefetch", |b| {
+        let w = mini_sgemm();
+        b.iter(|| {
+            let base = UvmSystem::new(small_config(64)).run(black_box(&w)).num_batches;
+            let pf = UvmSystem::new(small_config(64).with_policy(DriverPolicy::with_prefetch()))
+                .run(black_box(&w))
+                .num_batches;
+            1.0 - pf as f64 / base.max(1) as f64
+        });
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("fig15_evict_prefetch", |b| {
+        let w = mini_sgemm();
+        b.iter(|| {
+            let config = small_config(2).with_policy(DriverPolicy::with_prefetch());
+            let r = UvmSystem::new(config).run(black_box(&w));
+            (r.evictions, r.records.iter().map(|x| x.prefetched_pages).sum::<u64>())
+        });
+    });
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    c.bench_function("fig16_gauss_seidel", |b| {
+        let w = gauss_seidel::build(gauss_seidel::GaussSeidelParams {
+            rows: 256,
+            pages_per_row: 2,
+            warps: 16,
+            iters: 2,
+            compute_per_row: uvm_core::sim::time::SimDuration::from_micros(1),
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        b.iter(|| {
+            let config = small_config(2).with_policy(DriverPolicy::with_prefetch());
+            UvmSystem::new(config).run(black_box(&w)).evictions
+        });
+    });
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    c.bench_function("fig17_hpgmg", |b| {
+        let w = hpgmg::build(hpgmg::HpgmgParams {
+            level0_pages: 512,
+            levels: 3,
+            vcycles: 1,
+            warps: 16,
+            pages_per_instr: 8,
+            compute_per_phase: uvm_core::sim::time::SimDuration::from_micros(5),
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        b.iter(|| {
+            let config = small_config(4).with_policy(DriverPolicy::with_prefetch());
+            let r = UvmSystem::new(config).run(black_box(&w));
+            r.records.iter().flat_map(|x| x.evicted_blocks.first().copied()).min()
+        });
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("table4_speedup", |b| {
+        let w = mini_stream(2);
+        b.iter(|| {
+            let base = UvmSystem::new(small_config(4)).run(black_box(&w)).kernel_time;
+            let pf = UvmSystem::new(small_config(4).with_policy(DriverPolicy::with_prefetch()))
+                .run(black_box(&w))
+                .kernel_time;
+            base.as_nanos() as f64 / pf.as_nanos().max(1) as f64
+        });
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_latency,
+        bench_fig3_vecadd,
+        bench_fig5_prefetch,
+        bench_table2,
+        bench_fig6,
+        bench_fig7,
+        bench_fig8,
+        bench_fig9_batchsize,
+        bench_fig10,
+        bench_table3,
+        bench_fig11_unmap,
+        bench_fig12_oversub,
+        bench_fig13,
+        bench_fig14_prefetch,
+        bench_fig15,
+        bench_fig16,
+        bench_fig17,
+        bench_table4
+}
+criterion_main!(experiments);

@@ -1,0 +1,184 @@
+//! Regenerate every table and figure of Allen & Ge (SC '21).
+//!
+//! ```text
+//! cargo run --release -p uvm-bench --bin paper            # everything
+//! cargo run --release -p uvm-bench --bin paper fig9       # one experiment
+//! cargo run --release -p uvm-bench --bin paper -- --json out   # + JSON dumps
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports; with
+//! `--json <dir>` the raw result structs are also written as JSON for
+//! external plotting.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use uvm_core::experiments::*;
+
+const SEED: u64 = 0x5C21;
+
+struct Experiment {
+    id: &'static str,
+    title: &'static str,
+    run: fn() -> (String, serde_json::Value),
+}
+
+fn exp<R: serde::Serialize>(
+    f: fn(u64) -> R,
+    render: fn(&R) -> String,
+) -> (String, serde_json::Value) {
+    let r = f(SEED);
+    (render(&r), serde_json::to_value(&r).expect("serializable result"))
+}
+
+fn experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig1",
+            title: "Fig. 1  — UVM vs explicit-management access latency",
+            run: || exp(fig01_latency::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig3",
+            title: "Figs. 3/4 — vecadd fault batches and arrival timeline",
+            run: || exp(fig03_vecadd::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig5",
+            title: "Fig. 5  — single-warp prefetch fills a batch",
+            run: || exp(fig05_prefetch_ub::run, |r| r.render()),
+        },
+        Experiment {
+            id: "table2",
+            title: "Table 2 — per-SM fault statistics per batch",
+            run: || exp(table2_per_sm::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig6",
+            title: "Fig. 6  — batch cost vs data migrated (best fits)",
+            run: || exp(fig06_cost_vs_data::run, |r| format!("{}\n{}", r.render(), r.render_plot())),
+        },
+        Experiment {
+            id: "fig7",
+            title: "Fig. 7  — transfer share of batch time (sgemm)",
+            run: || exp(fig07_transfer_fraction::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig8",
+            title: "Fig. 8  — raw vs deduplicated batch sizes",
+            run: || exp(fig08_dedup_series::run, |r| format!("{}\n{}", r.render(), r.render_plot())),
+        },
+        Experiment {
+            id: "fig9",
+            title: "Fig. 9  — batch-size-limit sweep (sgemm)",
+            run: || exp(fig09_batch_size::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig10",
+            title: "Fig. 10 — batch cost vs size by VABlock count",
+            run: || exp(fig10_vablocks::run, |r| r.render()),
+        },
+        Experiment {
+            id: "table3",
+            title: "Table 3 — VABlock source statistics",
+            run: || exp(table3_vablocks::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig11",
+            title: "Fig. 11 — CPU-thread count vs unmap cost (HPGMG)",
+            run: || exp(fig11_unmap_threads::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig12",
+            title: "Fig. 12 — sgemm under oversubscription",
+            run: || exp(fig12_oversub::run, |r| format!("{}\n{}", r.render(), r.render_plot())),
+        },
+        Experiment {
+            id: "fig13",
+            title: "Fig. 13 — stream eviction cost levels",
+            run: || exp(fig13_evict_levels::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig14",
+            title: "Fig. 14 — sgemm prefetch profile + DMA outliers",
+            run: || exp(fig14_prefetch_batches::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig15",
+            title: "Fig. 15 — dgemm eviction + prefetching panels",
+            run: || exp(fig15_evict_prefetch::run, |r| r.render()),
+        },
+        Experiment {
+            id: "fig16",
+            title: "Fig. 16 — Gauss-Seidel case study",
+            run: || exp(fig16_gauss_seidel::run, |r| format!("{}\n{}", r.render(), r.render_plot())),
+        },
+        Experiment {
+            id: "fig17",
+            title: "Fig. 17 — HPGMG case study (LRU order)",
+            run: || exp(fig17_hpgmg::run, |r| format!("{}\n{}", r.render(), r.case.render_plot())),
+        },
+        Experiment {
+            id: "table4",
+            title: "Table 4 — prefetch on/off batch & kernel times",
+            run: || exp(table4_speedup::run, |r| r.render()),
+        },
+        Experiment {
+            id: "ext-hints",
+            title: "Extension — cudaMemAdvise / cudaMemPrefetchAsync",
+            run: || exp(ext_hints::run, |r| r.render()),
+        },
+        Experiment {
+            id: "ext-thrashing",
+            title: "Extension — thrashing mitigation (uvm_perf_thrashing)",
+            run: || exp(ext_thrashing::run, |r| r.render()),
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_dir = it.next();
+        } else {
+            filter = Some(a);
+        }
+    }
+
+    let all = experiments();
+    let selected: Vec<&Experiment> = match &filter {
+        Some(f) => all.iter().filter(|e| e.id == f).collect(),
+        None => all.iter().collect(),
+    };
+    if selected.is_empty() {
+        eprintln!(
+            "unknown experiment '{}'; available: {}",
+            filter.unwrap_or_default(),
+            all.iter().map(|e| e.id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(1);
+    }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json output dir");
+    }
+
+    for e in selected {
+        let t0 = Instant::now();
+        let (text, value) = (e.run)();
+        println!("================================================================");
+        println!("{}   [{:.2}s]", e.title, t0.elapsed().as_secs_f64());
+        println!("================================================================");
+        println!("{text}\n");
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{}.json", e.id);
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            f.write_all(serde_json::to_string_pretty(&value).expect("serialize").as_bytes())
+                .expect("write json");
+            println!("wrote {path}\n");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! # uvm-bench — benchmark harness
+//!
+//! * `cargo run --release -p uvm-bench --bin paper` regenerates every table
+//!   and figure of the paper at full experiment scale (optionally dumping
+//!   JSON with `--json <dir>`).
+//! * `cargo bench` runs the Criterion suites: `micro` (fault-path data
+//!   structures), `system` (full-system runs + the DESIGN.md ablations),
+//!   and `experiments` (one bench per paper table/figure at reduced scale).

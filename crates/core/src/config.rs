@@ -1,0 +1,103 @@
+//! System configuration.
+
+use serde::{Deserialize, Serialize};
+use uvm_driver::policy::DriverPolicy;
+use uvm_gpu::spec::GpuSpec;
+use uvm_hostos::numa::NumaTopology;
+use uvm_sim::cost::CostModel;
+
+/// Full configuration of one simulated system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// GPU hardware parameters.
+    pub gpu: GpuSpec,
+    /// Driver policy.
+    pub policy: DriverPolicy,
+    /// Cost-model calibration.
+    pub cost: CostModel,
+    /// Host NUMA topology (None = uniform memory). When set, fault-path
+    /// unmap work against remote-node mapper state is inflated by the
+    /// node distance.
+    pub numa: Option<NumaTopology>,
+    /// The CPU core hosting the UVM worker thread.
+    pub worker_core: u32,
+    /// Seed for all stochastic elements.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's testbed: Titan V, stock driver policy, calibrated costs.
+    pub fn titan_v() -> Self {
+        SystemConfig {
+            gpu: GpuSpec::titan_v(),
+            policy: DriverPolicy::default(),
+            cost: CostModel::titan_v(),
+            numa: Some(NumaTopology::epyc_7551p()),
+            worker_core: 0,
+            seed: 0x5C21,
+        }
+    }
+
+    /// A reduced GPU (8 SMs, `memory_bytes` of device memory) with the same
+    /// per-μTLB and batching constraints — for tests and examples that need
+    /// to run in milliseconds.
+    pub fn test_small(memory_bytes: u64) -> Self {
+        SystemConfig {
+            gpu: GpuSpec::small(memory_bytes),
+            policy: DriverPolicy::default(),
+            cost: CostModel::titan_v(),
+            numa: None,
+            worker_core: 0,
+            seed: 0x5C21,
+        }
+    }
+
+    /// Builder-style policy override.
+    pub fn with_policy(mut self, policy: DriverPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Device memory capacity in VABlocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.gpu.memory_va_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let t = SystemConfig::titan_v();
+        assert_eq!(t.gpu.num_sms, 80);
+        assert_eq!(t.capacity_blocks(), 6144);
+        let s = SystemConfig::test_small(64 * 1024 * 1024);
+        assert_eq!(s.capacity_blocks(), 32);
+        assert_eq!(s.policy.batch_limit, 256);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SystemConfig::test_small(1 << 22)
+            .with_policy(DriverPolicy::with_prefetch())
+            .with_seed(7);
+        assert!(c.policy.prefetch_enabled);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn config_round_trips_serde() {
+        let c = SystemConfig::titan_v();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

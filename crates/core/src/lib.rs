@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # uvm-core — the full-system simulator and experiment harness
+//!
+//! This crate is the public façade of the workspace: it wires the
+//! `uvm-gpu` device model, the `uvm-driver` fault-servicing state machine,
+//! and the `uvm-hostos` substrate into a deterministic discrete-event
+//! simulation, and implements one experiment driver per table and figure of
+//! Allen & Ge, *"In-Depth Analyses of Unified Virtual Memory System for GPU
+//! Accelerated Computing"* (SC '21).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uvm_core::{SystemConfig, UvmSystem};
+//! use uvm_workloads::vecadd::{self, VecAddParams};
+//!
+//! // The paper's Listing 1 microbenchmark on a small simulated GPU.
+//! let config = SystemConfig::test_small(64 * 1024 * 1024);
+//! let workload = vecadd::build(VecAddParams::default());
+//! let result = UvmSystem::new(config).run(&workload);
+//!
+//! // Fig. 3: the first batch holds exactly 56 faults (the μTLB limit).
+//! assert_eq!(result.records[0].raw_faults, 56);
+//! assert!(result.kernel_time.as_nanos() > 0);
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`config`] — [`SystemConfig`]: GPU spec + driver policy + cost model +
+//!   seed. Presets for the paper's Titan V testbed and for fast tests.
+//! * [`system`] — [`UvmSystem`]: the event loop (warp steps, fault
+//!   arrivals, driver wakes, batch completions, replays) and [`RunResult`].
+//! * [`experiments`] — one module per paper table/figure (plus extension
+//!   experiments for `cudaMemAdvise`/prefetch hints and thrashing
+//!   mitigation); each returns a serializable result struct with a
+//!   `render()` text report.
+//! * [`report`] — CSV export and terminal summaries of batch records.
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use system::{RunHints, RunResult, UvmSystem};
+
+// Re-export the component crates so downstream users need only uvm-core.
+pub use uvm_driver as driver;
+pub use uvm_gpu as gpu;
+pub use uvm_hostos as hostos;
+pub use uvm_sim as sim;
+pub use uvm_stats as stats;
+pub use uvm_workloads as workloads;

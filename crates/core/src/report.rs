@@ -1,0 +1,163 @@
+//! Export helpers for run instrumentation.
+//!
+//! The paper's authors post-process their driver logs externally; these
+//! helpers serialize a [`RunResult`]'s batch records to CSV (one row per
+//! batch, schema below) and render quick terminal summaries, so the same
+//! workflows apply to simulator output.
+
+use std::fmt::Write as _;
+
+use uvm_stats::Summary;
+
+use crate::system::RunResult;
+
+/// CSV header for [`batch_records_csv`].
+pub const BATCH_CSV_HEADER: &str = "seq,start_ns,end_ns,service_ns,raw_faults,unique_pages,\
+dup_same_utlb,dup_cross_utlb,read_faults,write_faults,prefetch_faults,distinct_sms,\
+num_va_blocks,new_va_blocks,pages_migrated,bytes_migrated,prefetched_pages,evictions,\
+bytes_evicted,cpu_pages_unmapped,remote_mapped_pages,t_fetch_ns,t_preprocess_ns,\
+t_dma_setup_ns,t_unmap_ns,t_populate_ns,t_transfer_ns,t_evict_ns,t_pte_ns,t_fixed_ns,\
+driver_prefetch_op";
+
+/// Serialize every batch record of a run as CSV (with header).
+pub fn batch_records_csv(result: &RunResult) -> String {
+    let mut out = String::with_capacity(result.records.len() * 160 + 256);
+    out.push_str(BATCH_CSV_HEADER);
+    out.push('\n');
+    for r in &result.records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.seq,
+            r.start.as_nanos(),
+            r.end.as_nanos(),
+            r.service_time().as_nanos(),
+            r.raw_faults,
+            r.unique_pages,
+            r.dup_same_utlb,
+            r.dup_cross_utlb,
+            r.read_faults,
+            r.write_faults,
+            r.prefetch_faults,
+            r.distinct_sms,
+            r.num_va_blocks,
+            r.new_va_blocks,
+            r.pages_migrated,
+            r.bytes_migrated,
+            r.prefetched_pages,
+            r.evictions,
+            r.bytes_evicted,
+            r.cpu_pages_unmapped,
+            r.remote_mapped_pages,
+            r.t_fetch.as_nanos(),
+            r.t_preprocess.as_nanos(),
+            r.t_dma_setup.as_nanos(),
+            r.t_unmap.as_nanos(),
+            r.t_populate.as_nanos(),
+            r.t_transfer.as_nanos(),
+            r.t_evict.as_nanos(),
+            r.t_pte.as_nanos(),
+            r.t_fixed.as_nanos(),
+            r.driver_prefetch_op,
+        );
+    }
+    out
+}
+
+/// A one-screen textual summary of a run (counts, time breakdown,
+/// batch-size distribution).
+pub fn summarize(result: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "run: {}", result.workload);
+    let _ = writeln!(out, "  kernel time        {}", result.kernel_time);
+    let _ = writeln!(out, "  batch time         {}", result.total_batch_time);
+    let _ = writeln!(out, "  batches            {}", result.num_batches);
+    let _ = writeln!(out, "  faults inserted    {}", result.total_faults_inserted);
+    let _ = writeln!(out, "  flush drops        {}", result.flush_drops);
+    let _ = writeln!(out, "  replays            {}", result.replays);
+    let _ = writeln!(out, "  evictions          {}", result.evictions);
+    let _ = writeln!(
+        out,
+        "  bytes migrated     {:.2} MiB",
+        result.total_bytes_migrated() as f64 / (1024.0 * 1024.0)
+    );
+
+    if !result.records.is_empty() {
+        let sizes = Summary::of_ints(result.records.iter().map(|r| r.raw_faults));
+        let _ = writeln!(
+            out,
+            "  batch size         mean {:.1}, sd {:.1}, min {:.0}, max {:.0}",
+            sizes.mean, sizes.std_dev, sizes.min, sizes.max
+        );
+        let total_ns: u64 = result
+            .records
+            .iter()
+            .map(|r| r.service_time().as_nanos())
+            .sum();
+        let component = |name: &str, ns: u64| {
+            format!("    {name:<12} {:>6.1}%", 100.0 * ns as f64 / total_ns.max(1) as f64)
+        };
+        let sum = |f: fn(&uvm_driver::BatchRecord) -> u64| -> u64 {
+            result.records.iter().map(f).sum()
+        };
+        let _ = writeln!(out, "  service-time breakdown:");
+        let _ = writeln!(out, "{}", component("fetch", sum(|r| r.t_fetch.as_nanos())));
+        let _ = writeln!(out, "{}", component("preprocess", sum(|r| r.t_preprocess.as_nanos())));
+        let _ = writeln!(out, "{}", component("dma setup", sum(|r| r.t_dma_setup.as_nanos())));
+        let _ = writeln!(out, "{}", component("cpu unmap", sum(|r| r.t_unmap.as_nanos())));
+        let _ = writeln!(out, "{}", component("populate", sum(|r| r.t_populate.as_nanos())));
+        let _ = writeln!(out, "{}", component("transfer", sum(|r| r.t_transfer.as_nanos())));
+        let _ = writeln!(out, "{}", component("evict", sum(|r| r.t_evict.as_nanos())));
+        let _ = writeln!(out, "{}", component("pte", sum(|r| r.t_pte.as_nanos())));
+        let _ = writeln!(out, "{}", component("fixed", sum(|r| r.t_fixed.as_nanos())));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SystemConfig, UvmSystem};
+    use uvm_workloads::vecadd::{self, VecAddParams};
+
+    fn sample_run() -> RunResult {
+        UvmSystem::new(SystemConfig::test_small(64 * 1024 * 1024))
+            .run(&vecadd::build(VecAddParams::default()))
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_batch() {
+        let result = sample_run();
+        let csv = batch_records_csv(&result);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + result.records.len());
+        assert!(lines[0].starts_with("seq,start_ns"));
+        let cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols, "row width matches header");
+        }
+        // First batch: 56 raw faults in column 5.
+        assert_eq!(lines[1].split(',').nth(4), Some("56"));
+    }
+
+    #[test]
+    fn summary_reports_components_that_sum_to_100() {
+        let result = sample_run();
+        let text = summarize(&result);
+        assert!(text.contains("kernel time"));
+        let percents: f64 = text
+            .lines()
+            .filter(|l| l.trim_end().ends_with('%'))
+            .map(|l| {
+                l.trim_end()
+                    .trim_end_matches('%')
+                    .split_whitespace()
+                    .last()
+                    .unwrap()
+                    .parse::<f64>()
+                    .unwrap()
+            })
+            .sum();
+        assert!((percents - 100.0).abs() < 1.0, "components sum to ~100%: {percents}");
+    }
+}

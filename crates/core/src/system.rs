@@ -1,0 +1,676 @@
+//! The full-system discrete-event simulation.
+//!
+//! [`UvmSystem::run`] executes one workload to completion, reproducing the
+//! paper's end-to-end fault lifecycle:
+//!
+//! 1. warps issue accesses; misses deposit faults at their μTLB (bounded by
+//!    the 56-entry outstanding limit);
+//! 2. the GMMU arbitrates deposits round-robin into the fault buffer;
+//! 3. the first arrival raises an interrupt that wakes the driver worker
+//!    (interrupt + wake latency);
+//! 4. the worker fetches up to `batch_limit` arrived faults and services
+//!    the batch ([`uvm_driver::UvmDriver::service_batch`]);
+//! 5. on completion it **flushes** the buffer (dropping everything that
+//!    arrived during servicing) and issues a **replay**, which clears μTLB
+//!    state and wakes all stalled warps; unserviced accesses re-fault;
+//! 6. the worker sleeps until the next interrupt.
+//!
+//! The loop is fully deterministic: same config + workload → identical
+//! batch logs, timings, and fault streams.
+
+use serde::{Deserialize, Serialize};
+use uvm_driver::advise::MemAdvise;
+use uvm_driver::batch::{BatchRecord, FaultMeta};
+use uvm_driver::service::UvmDriver;
+use uvm_sim::mem::Allocation;
+use uvm_gpu::device::{Gpu, StepOutcome};
+use uvm_hostos::host::HostMemory;
+use uvm_sim::event::EventQueue;
+use uvm_sim::time::{SimDuration, SimTime};
+use uvm_workloads::workload::Workload;
+
+use crate::config::SystemConfig;
+
+/// Safety valve: a run that schedules more events than this is considered
+/// hung (it would correspond to billions of simulated faults).
+const MAX_EVENTS: u64 = 200_000_000;
+
+/// Outcome of one full-system run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Time from launch until the last warp finished (the paper's "Kernel"
+    /// time).
+    pub kernel_time: SimDuration,
+    /// Sum of all batch service times (the paper's "Batch" time).
+    pub total_batch_time: SimDuration,
+    /// Number of serviced batches.
+    pub num_batches: u64,
+    /// Per-batch instrumentation records.
+    pub records: Vec<BatchRecord>,
+    /// Per-fault metadata (non-empty when `policy.log_fault_metadata`).
+    pub fault_log: Vec<FaultMeta>,
+    /// Fault replays issued.
+    pub replays: u64,
+    /// Faults dropped by pre-replay flushes.
+    pub flush_drops: u64,
+    /// Faults dropped by hardware buffer overflow.
+    pub overflow_drops: u64,
+    /// Total faults that reached the fault buffer.
+    pub total_faults_inserted: u64,
+    /// VABlock evictions performed.
+    pub evictions: u64,
+    /// `unmap_mapping_range` invocations.
+    pub unmap_calls: u64,
+    /// Upfront bulk-copy time (zero for UVM runs; set by
+    /// [`UvmSystem::run_explicit`], the explicit-management baseline).
+    pub upfront_copy_time: SimDuration,
+    /// `(launch, completion)` span of each sequential kernel in the
+    /// workload (one entry unless the workload declares kernel
+    /// boundaries).
+    pub kernel_spans: Vec<(SimTime, SimTime)>,
+}
+
+impl RunResult {
+    /// Mean raw batch size.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.records.iter().map(|r| r.raw_faults).sum::<u64>() as f64
+                / self.records.len() as f64
+        }
+    }
+
+    /// Total bytes migrated host→device.
+    pub fn total_bytes_migrated(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes_migrated).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Advance a warp.
+    WarpStep(u32),
+    /// The driver worker checks the fault buffer.
+    DriverCheck,
+    /// The in-flight batch finished servicing.
+    BatchDone,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Worker {
+    /// Asleep; will be woken by a fault arrival interrupt.
+    Idle,
+    /// A `DriverCheck` is scheduled for this instant. A new interrupt may
+    /// supersede it with an earlier check; the later event is then stale
+    /// and ignored when it fires.
+    CheckScheduled(SimTime),
+    /// Servicing a batch (`BatchDone` scheduled).
+    Busy,
+}
+
+/// Memory-usage hints applied before a run: `cudaMemAdvise` per
+/// allocation and explicit `cudaMemPrefetchAsync` calls executed before
+/// the first kernel launch.
+#[derive(Debug, Clone, Default)]
+pub struct RunHints {
+    /// Usage hints, applied to every VABlock of each allocation.
+    pub advise: Vec<(Allocation, MemAdvise)>,
+    /// Allocations to bulk-prefetch to the device before launch.
+    pub prefetch: Vec<Allocation>,
+}
+
+/// The assembled system: GPU + driver + host OS + event queue.
+#[derive(Debug)]
+pub struct UvmSystem {
+    config: SystemConfig,
+    gpu: Gpu,
+    driver: UvmDriver,
+    host: HostMemory,
+}
+
+impl UvmSystem {
+    /// Assemble a system from a configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        let gpu = Gpu::new_seeded(config.gpu.clone(), config.cost.clone(), config.seed);
+        let driver = UvmDriver::new(
+            config.policy.clone(),
+            config.cost.clone(),
+            config.capacity_blocks(),
+            config.seed,
+        );
+        let host = match &config.numa {
+            Some(topo) => HostMemory::with_numa(topo.clone(), config.worker_core),
+            None => HostMemory::new(),
+        };
+        UvmSystem {
+            config,
+            gpu,
+            driver,
+            host,
+        }
+    }
+
+    /// Run `workload` to completion and return the instrumentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds its event budget (a hung workload —
+    /// always a bug, never an expected outcome).
+    pub fn run(self, workload: &Workload) -> RunResult {
+        self.run_with_hints(workload, &RunHints::default())
+    }
+
+    /// Run `workload` after applying memory-usage hints: `cudaMemAdvise`
+    /// settings and explicit upfront `cudaMemPrefetchAsync` migrations
+    /// (whose driver operations appear in the records flagged
+    /// `driver_prefetch_op`, and whose time delays the first kernel
+    /// launch, as a synchronized prefetch would).
+    pub fn run_with_hints(mut self, workload: &Workload, hints: &RunHints) -> RunResult {
+        // Register managed allocations, then replay CPU-side
+        // initialization (first-touch mapping + host-data tracking).
+        for alloc in &workload.allocations {
+            self.driver.managed_alloc(*alloc);
+        }
+        for t in &workload.cpu_init {
+            self.driver.cpu_touch(&mut self.host, t.page, t.core, t.write);
+        }
+        for (alloc, advise) in &hints.advise {
+            self.driver.set_advise(alloc, *advise);
+        }
+
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(workload.num_warps() * 2);
+        let mut worker = Worker::Idle;
+        let mut kernel_spans = Vec::new();
+        let mut events = 0u64;
+
+        // Explicit prefetches run (synchronously) before the first launch.
+        let mut t0 = SimTime::ZERO;
+        for alloc in &hints.prefetch {
+            t0 = self.driver.prefetch_async(alloc, &mut self.gpu, &mut self.host, t0);
+        }
+
+        // Kernels launch sequentially: each waits for the previous one to
+        // complete and for the driver to go idle (the implicit stream
+        // synchronization between dependent launches).
+        for range in workload.kernels() {
+            let start = queue.now().max(t0);
+            for wid in self.gpu.launch(workload.programs[range].to_vec()) {
+                queue.schedule(start, Event::WarpStep(wid));
+            }
+            self.drain_events(&mut queue, &mut worker, &mut events);
+            kernel_spans.push((start, self.gpu.kernel_end));
+        }
+
+        assert!(
+            self.gpu.all_done(),
+            "event queue drained with {} of {} warps unfinished",
+            self.gpu.num_warps() - self.gpu.warps_done(),
+            self.gpu.num_warps()
+        );
+
+        RunResult {
+            workload: workload.name.clone(),
+            kernel_time: self.gpu.kernel_end - SimTime::ZERO,
+            total_batch_time: self.driver.total_batch_time(),
+            num_batches: self.driver.num_batches(),
+            replays: self.gpu.replays,
+            flush_drops: self.gpu.fault_buffer.flush_drops() + self.gpu.gmmu.flush_discards(),
+            overflow_drops: self.gpu.fault_buffer.overflow_drops(),
+            total_faults_inserted: self.gpu.fault_buffer.total_inserted(),
+            evictions: self.driver.memory().evictions(),
+            unmap_calls: self.host.unmap_calls(),
+            records: std::mem::take(&mut self.driver.records),
+            fault_log: std::mem::take(&mut self.driver.fault_log),
+            upfront_copy_time: SimDuration::ZERO,
+            kernel_spans,
+        }
+    }
+
+    /// Process events until the system quiesces (all launched warps done,
+    /// no pending events).
+    fn drain_events(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        worker: &mut Worker,
+        events: &mut u64,
+    ) {
+        while let Some((now, event)) = queue.pop() {
+            *events += 1;
+            assert!(
+                *events <= MAX_EVENTS,
+                "simulation exceeded {MAX_EVENTS} events ({} warps done of {}, {} batches)",
+                self.gpu.warps_done(),
+                self.gpu.num_warps(),
+                self.driver.num_batches()
+            );
+            match event {
+                Event::WarpStep(wid) => {
+                    match self.gpu.step_warp(wid, now) {
+                        StepOutcome::Continue { at } => queue.schedule(at, Event::WarpStep(wid)),
+                        StepOutcome::Blocked => {}
+                        StepOutcome::Finished { at, activated } => {
+                            if let Some(next) = activated {
+                                queue.schedule(at, Event::WarpStep(next));
+                            }
+                        }
+                    }
+                    self.drain_and_wake(queue, worker, now);
+                }
+                Event::DriverCheck => {
+                    // Ignore stale checks superseded by an earlier wake or
+                    // overtaken by a batch already in service.
+                    if *worker != Worker::CheckScheduled(now) {
+                        continue;
+                    }
+                    *worker = Worker::Idle;
+                    self.gpu.drain_faults();
+                    // The driver's read loop races with fault insertion: it
+                    // keeps reading "until the batch size limit is reached
+                    // or no faults remain in the buffer" (Sec. 2.2), and
+                    // reading itself takes time during which more faults
+                    // arrive. Model it as an iterative fetch whose deadline
+                    // advances by the per-fault fetch cost.
+                    let limit = self.config.policy.batch_limit;
+                    let mut batch = Vec::with_capacity(limit);
+                    let mut deadline = now;
+                    loop {
+                        let got = self.gpu.fault_buffer.fetch(limit - batch.len(), deadline);
+                        if got.is_empty() {
+                            break;
+                        }
+                        deadline += self.config.cost.fetch_per_fault * got.len() as u64;
+                        batch.extend(got);
+                        if batch.len() >= limit {
+                            break;
+                        }
+                    }
+                    if batch.is_empty() {
+                        // Entries exist but have not arrived yet: re-check
+                        // at the earliest arrival.
+                        if let Some(arr) = self.gpu.fault_buffer.earliest_arrival() {
+                            let at = arr.max(now);
+                            *worker = Worker::CheckScheduled(at);
+                            queue.schedule(at, Event::DriverCheck);
+                        }
+                    } else {
+                        let rec =
+                            self.driver
+                                .service_batch(&batch, &mut self.gpu, &mut self.host, now);
+                        let end = rec.end;
+                        *worker = Worker::Busy;
+                        queue.schedule(end, Event::BatchDone);
+                    }
+                }
+                Event::BatchDone => {
+                    debug_assert_eq!(*worker, Worker::Busy);
+                    *worker = Worker::Idle;
+                    // Flush the buffer (and in-flight GMMU entries), then
+                    // replay: stalled warps wake once the replay reaches
+                    // the GPU. (Flushing is the stock policy; the ablation
+                    // keeps stale entries, which later batches then fetch.)
+                    if self.config.policy.flush_on_replay {
+                        self.gpu.flush();
+                    }
+                    let replay_done = now + self.config.cost.replay_latency;
+                    for (wid, wake) in self.gpu.replay(replay_done) {
+                        queue.schedule(wake, Event::WarpStep(wid));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The explicit-management baseline (Fig. 1's comparison point): the
+    /// programmer `cudaMemcpy`s every array to the device up front and the
+    /// kernel runs fault-free. Kernel start is offset by the bulk-copy
+    /// time; no faults, batches, or migrations occur.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload does not fit in device memory (explicit
+    /// management cannot oversubscribe).
+    pub fn run_explicit(mut self, workload: &Workload) -> RunResult {
+        assert!(
+            workload.footprint_bytes() <= self.config.gpu.memory_bytes,
+            "explicit management cannot oversubscribe device memory"
+        );
+        let copy_time = self.config.cost.h2d_time(workload.footprint_bytes());
+        for alloc in &workload.allocations {
+            self.gpu.map_pages((0..alloc.num_pages()).map(|i| alloc.page(i)));
+        }
+
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(workload.num_warps() * 2);
+        let start = SimTime::ZERO + copy_time;
+        for wid in self.gpu.launch(workload.programs.clone()) {
+            queue.schedule(start, Event::WarpStep(wid));
+        }
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::WarpStep(wid) => match self.gpu.step_warp(wid, now) {
+                    StepOutcome::Continue { at } => queue.schedule(at, Event::WarpStep(wid)),
+                    StepOutcome::Blocked => unreachable!("no faults under explicit management"),
+                    StepOutcome::Finished { at, activated } => {
+                        if let Some(next) = activated {
+                            queue.schedule(at, Event::WarpStep(next));
+                        }
+                    }
+                },
+                _ => unreachable!("no driver events under explicit management"),
+            }
+        }
+        assert!(self.gpu.all_done());
+        RunResult {
+            workload: workload.name.clone(),
+            kernel_time: self.gpu.kernel_end - start,
+            total_batch_time: SimDuration::ZERO,
+            num_batches: 0,
+            records: Vec::new(),
+            fault_log: Vec::new(),
+            replays: 0,
+            flush_drops: 0,
+            overflow_drops: 0,
+            total_faults_inserted: 0,
+            evictions: 0,
+            unmap_calls: 0,
+            upfront_copy_time: copy_time,
+            kernel_spans: vec![(start, self.gpu.kernel_end)],
+        }
+    }
+
+    /// If the worker is asleep and faults are pending (deposited at the
+    /// GMMU or already buffered), schedule its wake at the interrupt-path
+    /// latency. Pending GMMU faults are *not* drained here: draining
+    /// happens at fetch time so that μTLB queues that filled concurrently
+    /// interleave round-robin, as the hardware write-port arbitration
+    /// does.
+    fn drain_and_wake(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        worker: &mut Worker,
+        now: SimTime,
+    ) {
+        if *worker == Worker::Busy {
+            return;
+        }
+        let pending = self
+            .gpu
+            .gmmu
+            .earliest_request()
+            .map(|t| t + self.config.cost.fault_insert_latency);
+        let buffered = self.gpu.fault_buffer.earliest_arrival();
+        let earliest = match (pending, buffered) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(arrival) = earliest {
+            let wake = arrival.max(now)
+                + self.config.cost.interrupt_latency
+                + self.config.cost.worker_wake_latency;
+            // A new interrupt supersedes a later-scheduled check (the
+            // hardware re-interrupts; the worker must not sleep through a
+            // fresh fault because an old spurious one scheduled a far
+            // wake). The superseded event becomes stale and is ignored.
+            match *worker {
+                Worker::Idle => {
+                    *worker = Worker::CheckScheduled(wake);
+                    queue.schedule(wake, Event::DriverCheck);
+                }
+                Worker::CheckScheduled(t) if wake < t => {
+                    *worker = Worker::CheckScheduled(wake);
+                    queue.schedule(wake, Event::DriverCheck);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_driver::policy::DriverPolicy;
+    use uvm_workloads::cpu_init::CpuInitPolicy;
+    use uvm_workloads::stream::{self, StreamParams};
+    use uvm_workloads::vecadd::{self, VecAddParams};
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn vecadd_reproduces_fig3_batching() {
+        let config = SystemConfig::test_small(64 * MB);
+        let result = UvmSystem::new(config).run(&vecadd::build(VecAddParams::default()));
+        // Fig. 3: first batch is the 56-fault μTLB fill (all A reads, most
+        // B reads); the second is the remaining 8 B reads.
+        assert_eq!(result.records[0].raw_faults, 56);
+        assert_eq!(result.records[0].write_faults, 0);
+        assert_eq!(result.records[1].raw_faults, 8);
+        // Writes appear only from the third batch on.
+        assert!(result.records[2].write_faults > 0);
+        // 288 distinct pages must all migrate eventually.
+        let migrated: u64 = result.records.iter().map(|r| r.pages_migrated).sum();
+        assert_eq!(migrated, 288);
+        assert!(result.num_batches >= 5);
+        assert_eq!(result.overflow_drops, 0);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let w = stream::build(StreamParams {
+            warps: 16,
+            pages_per_warp: 8,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        let r1 = UvmSystem::new(SystemConfig::test_small(64 * MB)).run(&w);
+        let r2 = UvmSystem::new(SystemConfig::test_small(64 * MB)).run(&w);
+        assert_eq!(r1.kernel_time, r2.kernel_time);
+        assert_eq!(r1.num_batches, r2.num_batches);
+        let t1: Vec<_> = r1.records.iter().map(|r| (r.start, r.raw_faults)).collect();
+        let t2: Vec<_> = r2.records.iter().map(|r| (r.start, r.raw_faults)).collect();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn different_seed_changes_timings_not_faults() {
+        let w = stream::build(StreamParams {
+            warps: 16,
+            pages_per_warp: 8,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: None,
+        });
+        let r1 = UvmSystem::new(SystemConfig::test_small(64 * MB).with_seed(1)).run(&w);
+        let r2 = UvmSystem::new(SystemConfig::test_small(64 * MB).with_seed(2)).run(&w);
+        let migrated1: u64 = r1.records.iter().map(|r| r.pages_migrated).sum();
+        let migrated2: u64 = r2.records.iter().map(|r| r.pages_migrated).sum();
+        assert_eq!(migrated1, migrated2, "page coverage is seed-independent");
+        assert_ne!(
+            r1.kernel_time, r2.kernel_time,
+            "service jitter differs across seeds"
+        );
+    }
+
+    #[test]
+    fn stream_covers_all_pages_and_finishes() {
+        let w = stream::build(StreamParams {
+            warps: 32,
+            pages_per_warp: 16,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        let total_pages = w.footprint_pages();
+        let result = UvmSystem::new(SystemConfig::test_small(64 * MB)).run(&w);
+        let migrated: u64 = result.records.iter().map(|r| r.pages_migrated).sum();
+        assert_eq!(migrated, total_pages, "every page of a/b/c migrates exactly once");
+        assert!(result.kernel_time > SimDuration::ZERO);
+        assert!(result.total_batch_time > SimDuration::ZERO);
+        assert!(
+            result.total_batch_time < result.kernel_time,
+            "batch time is a subset of kernel time"
+        );
+        // a and b had CPU data (transferred); c was populate-only.
+        assert_eq!(result.total_bytes_migrated(), 2 * total_pages / 3 * 4096);
+    }
+
+    #[test]
+    fn oversubscription_triggers_evictions() {
+        // 16 MiB GPU (8 blocks) and a ~24 MiB workload.
+        let w = stream::build(StreamParams {
+            warps: 32,
+            pages_per_warp: 64,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        assert!(w.footprint_bytes() > 16 * MB);
+        let result = UvmSystem::new(SystemConfig::test_small(16 * MB)).run(&w);
+        assert!(result.evictions > 0, "oversubscribed run must evict");
+        assert!(result.records.iter().any(|r| r.evictions > 0));
+    }
+
+    #[test]
+    fn prefetch_reduces_batches() {
+        let mk = || {
+            stream::build(StreamParams {
+                warps: 32,
+                pages_per_warp: 32,
+                iters: 1,
+                warps_per_page: 1,
+                cpu_init: Some(CpuInitPolicy::SingleThread),
+            })
+        };
+        let base = UvmSystem::new(SystemConfig::test_small(256 * MB)).run(&mk());
+        let pf = UvmSystem::new(
+            SystemConfig::test_small(256 * MB).with_policy(DriverPolicy::with_prefetch()),
+        )
+        .run(&mk());
+        assert!(
+            pf.num_batches * 2 < base.num_batches,
+            "prefetch should cut batches sharply: {} vs {}",
+            pf.num_batches,
+            base.num_batches
+        );
+        assert!(pf.kernel_time < base.kernel_time, "prefetch speeds up the kernel");
+        assert!(pf.records.iter().map(|r| r.prefetched_pages).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn flush_drops_occur_with_concurrent_warps() {
+        // With a batch limit well below the per-cycle fault supply, each
+        // fetch leaves arrivals in the buffer, and the pre-replay flush
+        // must drop them (paper Sec. 4.2) — the dropped non-duplicates
+        // re-fault and still complete.
+        let w = stream::build(StreamParams {
+            warps: 512,
+            pages_per_warp: 4,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: None,
+        });
+        let config = SystemConfig::test_small(64 * MB)
+            .with_policy(DriverPolicy::default().batch_limit(64));
+        let result = UvmSystem::new(config).run(&w);
+        assert!(result.flush_drops > 0, "expected flush-dropped faults");
+        // Dropped non-duplicates re-fault and still get serviced.
+        let migrated: u64 = result.records.iter().map(|r| r.pages_migrated).sum();
+        assert_eq!(migrated, w.footprint_pages());
+    }
+
+    #[test]
+    fn sequential_kernels_synchronize_and_reuse_residency() {
+        // Kernel 1 streams a+b -> c; kernel 2 re-reads c (warm) and writes d.
+        let mut b = uvm_workloads::workload::Workload::builder("pipeline");
+        let a = b.alloc(32 * 4096);
+        let c = b.alloc(32 * 4096);
+        let d = b.alloc(32 * 4096);
+        for w in 0..4u64 {
+            let mut p = uvm_gpu::isa::WarpProgram::new();
+            for i in 0..8u64 {
+                p.push(uvm_gpu::isa::Instr::load1(a.page(w * 8 + i)));
+                p.push(uvm_gpu::isa::Instr::store1(c.page(w * 8 + i)));
+            }
+            b.warp(p);
+        }
+        b.end_kernel();
+        for w in 0..4u64 {
+            let mut p = uvm_gpu::isa::WarpProgram::new();
+            for i in 0..8u64 {
+                p.push(uvm_gpu::isa::Instr::load1(c.page(w * 8 + i)));
+                p.push(uvm_gpu::isa::Instr::store1(d.page(w * 8 + i)));
+            }
+            b.warp(p);
+        }
+        let w = b.build();
+        let result = UvmSystem::new(SystemConfig::test_small(64 * MB)).run(&w);
+
+        assert_eq!(result.kernel_spans.len(), 2);
+        let (s1, e1) = result.kernel_spans[0];
+        let (s2, e2) = result.kernel_spans[1];
+        assert!(s2 >= e1, "kernel 2 launches only after kernel 1 completes");
+        assert!(e2 >= e1);
+        assert_eq!(s1, uvm_sim::time::SimTime::ZERO);
+        // Kernel 2 re-reads c without faulting: total migrations = a+c+d.
+        let migrated: u64 = result.records.iter().map(|r| r.pages_migrated).sum();
+        assert_eq!(migrated, 3 * 32);
+        // No fault for c pages in kernel-2 batches (those after e1).
+        let k2_migrations: u64 = result
+            .records
+            .iter()
+            .filter(|r| r.start >= e1)
+            .map(|r| r.pages_migrated)
+            .sum();
+        assert_eq!(k2_migrations, 32, "kernel 2 migrates only d");
+    }
+
+    #[test]
+    fn numa_topology_inflates_cross_node_unmap() {
+        use uvm_hostos::numa::NumaTopology;
+        // Same striped-init workload; worker on core 0. Remote-node
+        // mappers make the NUMA host's unmap strictly costlier.
+        let mk = || {
+            stream::build(StreamParams {
+                warps: 32,
+                pages_per_warp: 16,
+                iters: 1,
+                warps_per_page: 1,
+                cpu_init: Some(CpuInitPolicy::Striped { threads: 32 }),
+            })
+        };
+        let unmap_of = |numa: Option<NumaTopology>| {
+            let mut config = SystemConfig::test_small(64 * MB);
+            config.numa = numa;
+            let r = UvmSystem::new(config).run(&mk());
+            r.records.iter().map(|b| b.t_unmap.as_nanos()).sum::<u64>()
+        };
+        let uniform = unmap_of(None);
+        let numa = unmap_of(Some(NumaTopology::epyc_7551p()));
+        assert!(
+            numa > uniform,
+            "cross-node mappers inflate unmap: {numa} <= {uniform}"
+        );
+        assert!((numa as f64) < uniform as f64 * 2.0, "bounded by the distance matrix");
+    }
+
+    #[test]
+    fn fault_metadata_collected_when_requested() {
+        let config = SystemConfig::test_small(64 * MB)
+            .with_policy(DriverPolicy::default().log_faults(true));
+        let result = UvmSystem::new(config).run(&vecadd::build(VecAddParams::default()));
+        assert!(!result.fault_log.is_empty());
+        assert_eq!(
+            result.fault_log.len() as u64,
+            result.records.iter().map(|r| r.raw_faults).sum::<u64>()
+        );
+        // Arrival timestamps are monotone within a batch (Fig. 4).
+        for pair in result.fault_log.windows(2) {
+            if pair[0].batch_seq == pair[1].batch_seq {
+                assert!(pair[0].arrival <= pair[1].arrival);
+            }
+        }
+    }
+}

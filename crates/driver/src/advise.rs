@@ -1,0 +1,46 @@
+//! Memory-usage hints (`cudaMemAdvise`) and explicit prefetch
+//! (`cudaMemPrefetchAsync`).
+//!
+//! The paper's related work (Chien/Peng/Markidis, MCHPC'19) evaluates
+//! UVM's "advanced features" — allocation hints and explicit prefetching —
+//! as the escape hatches from the default fault-driven behaviour this
+//! repository reproduces. The driver honors them as follows:
+//!
+//! * [`MemAdvise::ReadMostly`] — migrations *duplicate* read-only data:
+//!   the CPU mapping survives a GPU read fault (no fault-path
+//!   `unmap_mapping_range`), and evicting a duplicated block just drops
+//!   the GPU copy (no device→host writeback). A write fault collapses the
+//!   duplication and reverts the block to normal handling.
+//! * [`MemAdvise::PreferredLocationHost`] — data stays in host memory:
+//!   GPU faults establish *remote mappings* over the interconnect instead
+//!   of migrating, consuming no device memory and creating no eviction
+//!   pressure (the EMOGI/remote-DMA strategy for irregular apps).
+//! * `UvmDriver::prefetch_async` — bulk, driver-initiated migration of a
+//!   whole allocation: pages arrive before the kernel faults on them,
+//!   paying the same DMA-setup/unmap/transfer costs but amortized into
+//!   one operation per VABlock instead of a fault-driven batch sequence.
+
+use serde::{Deserialize, Serialize};
+
+/// A usage hint applied to all VABlocks of an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemAdvise {
+    /// `cudaMemAdviseSetReadMostly`: duplicate on read, collapse on write.
+    ReadMostly,
+    /// `cudaMemAdviseSetPreferredLocation(cudaCpuDeviceId)`: map remotely,
+    /// never migrate.
+    PreferredLocationHost,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advise_serializes() {
+        let json = serde_json::to_string(&MemAdvise::ReadMostly).unwrap();
+        assert!(json.contains("ReadMostly"));
+        let back: MemAdvise = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, MemAdvise::ReadMostly);
+    }
+}

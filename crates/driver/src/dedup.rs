@@ -1,0 +1,162 @@
+//! Batch duplicate-fault classification.
+//!
+//! The driver classifies duplicate faults within a batch into two types
+//! (paper Sec. 4.2):
+//!
+//! * **type 1** — same address, same μTLB: high spatial locality within a
+//!   warp/block, or an SM spuriously re-issuing a fault;
+//! * **type 2** — same address, *different* μTLBs: data sharing across
+//!   blocks scheduled on different SMs (more expensive to reconcile).
+//!
+//! Duplicates contribute no migrated bytes but are fetched, parsed, and
+//! compared — pure overhead, which is why Fig. 8's deduplicated batch sizes
+//! differ so much from the raw ones.
+
+use std::collections::HashMap;
+
+use uvm_gpu::fault::{AccessKind, FaultRecord};
+use uvm_sim::mem::PageNum;
+
+/// Outcome of deduplicating one batch.
+#[derive(Debug, Clone)]
+pub struct DedupResult {
+    /// One representative fault per distinct page, in first-arrival order.
+    /// The representative's kind is upgraded to `Write` if *any* fault on
+    /// the page was a write (the page must migrate writable).
+    pub unique: Vec<FaultRecord>,
+    /// Count of same-μTLB duplicates discarded.
+    pub dup_same_utlb: u64,
+    /// Count of cross-μTLB duplicates discarded.
+    pub dup_cross_utlb: u64,
+}
+
+impl DedupResult {
+    /// Total duplicates discarded.
+    pub fn total_dups(&self) -> u64 {
+        self.dup_same_utlb + self.dup_cross_utlb
+    }
+}
+
+/// Classify and collapse duplicate faults in a batch.
+pub fn classify_duplicates(batch: &[FaultRecord]) -> DedupResult {
+    // page -> (index into unique, set of utlbs seen)
+    let mut seen: HashMap<PageNum, (usize, Vec<u32>)> = HashMap::with_capacity(batch.len());
+    let mut unique: Vec<FaultRecord> = Vec::with_capacity(batch.len());
+    let mut dup_same_utlb = 0u64;
+    let mut dup_cross_utlb = 0u64;
+
+    for fault in batch {
+        match seen.get_mut(&fault.page) {
+            None => {
+                seen.insert(fault.page, (unique.len(), vec![fault.utlb]));
+                unique.push(*fault);
+            }
+            Some((idx, utlbs)) => {
+                if utlbs.contains(&fault.utlb) {
+                    dup_same_utlb += 1;
+                } else {
+                    dup_cross_utlb += 1;
+                    utlbs.push(fault.utlb);
+                }
+                if fault.kind == AccessKind::Write {
+                    unique[*idx].kind = AccessKind::Write;
+                }
+            }
+        }
+    }
+
+    DedupResult {
+        unique,
+        dup_same_utlb,
+        dup_cross_utlb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_sim::time::SimTime;
+
+    fn fault(page: u64, utlb: u32, kind: AccessKind) -> FaultRecord {
+        FaultRecord {
+            page: PageNum(page),
+            kind,
+            sm: utlb * 2,
+            utlb,
+            warp: 0,
+            arrival: SimTime(0),
+            dup_of_outstanding: false,
+        }
+    }
+
+    #[test]
+    fn no_duplicates_passes_through() {
+        let batch = vec![
+            fault(1, 0, AccessKind::Read),
+            fault(2, 0, AccessKind::Read),
+            fault(3, 1, AccessKind::Write),
+        ];
+        let r = classify_duplicates(&batch);
+        assert_eq!(r.unique.len(), 3);
+        assert_eq!(r.total_dups(), 0);
+    }
+
+    #[test]
+    fn same_utlb_duplicate_classified_type1() {
+        let batch = vec![fault(1, 0, AccessKind::Read), fault(1, 0, AccessKind::Read)];
+        let r = classify_duplicates(&batch);
+        assert_eq!(r.unique.len(), 1);
+        assert_eq!(r.dup_same_utlb, 1);
+        assert_eq!(r.dup_cross_utlb, 0);
+    }
+
+    #[test]
+    fn cross_utlb_duplicate_classified_type2() {
+        let batch = vec![fault(1, 0, AccessKind::Read), fault(1, 3, AccessKind::Read)];
+        let r = classify_duplicates(&batch);
+        assert_eq!(r.unique.len(), 1);
+        assert_eq!(r.dup_same_utlb, 0);
+        assert_eq!(r.dup_cross_utlb, 1);
+    }
+
+    #[test]
+    fn third_fault_from_seen_utlb_is_type1() {
+        // Once μTLB 3 has been recorded for the page, its next duplicate is
+        // same-μTLB even though the first fault came from μTLB 0.
+        let batch = vec![
+            fault(1, 0, AccessKind::Read),
+            fault(1, 3, AccessKind::Read),
+            fault(1, 3, AccessKind::Read),
+        ];
+        let r = classify_duplicates(&batch);
+        assert_eq!(r.dup_same_utlb, 1);
+        assert_eq!(r.dup_cross_utlb, 1);
+    }
+
+    #[test]
+    fn write_upgrades_representative() {
+        let batch = vec![fault(1, 0, AccessKind::Read), fault(1, 1, AccessKind::Write)];
+        let r = classify_duplicates(&batch);
+        assert_eq!(r.unique[0].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn first_arrival_order_preserved() {
+        let batch = vec![
+            fault(9, 0, AccessKind::Read),
+            fault(1, 0, AccessKind::Read),
+            fault(9, 1, AccessKind::Read),
+            fault(5, 0, AccessKind::Read),
+        ];
+        let r = classify_duplicates(&batch);
+        let pages: Vec<u64> = r.unique.iter().map(|f| f.page.0).collect();
+        assert_eq!(pages, vec![9, 1, 5]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let r = classify_duplicates(&[]);
+        assert!(r.unique.is_empty());
+        assert_eq!(r.total_dups(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! GPU physical-memory management and LRU eviction.
+//!
+//! UVM tracks all physical GPU allocations and, under oversubscription,
+//! evicts at VABlock (2 MiB) granularity (paper Sec. 2.2, 5.1). Because
+//! the driver sees only *migrations*, never GPU-side page hits, its "LRU"
+//! ordering is migration order — effectively *earliest allocated first*
+//! for densely accessed workloads, which is exactly the eviction pattern
+//! Fig. 17(c) visualizes.
+
+use std::collections::HashMap;
+
+use uvm_sim::mem::VaBlockId;
+
+/// Outcome of a block-residency request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvictOutcome {
+    /// The block already holds a GPU allocation.
+    AlreadyResident,
+    /// A free 2 MiB chunk was allocated.
+    Allocated,
+    /// Memory was full: the listed victims were evicted (in eviction
+    /// order), then the allocation succeeded.
+    Evicted(Vec<VaBlockId>),
+}
+
+/// The GPU physical-memory manager.
+#[derive(Debug)]
+pub struct GpuMemoryManager {
+    capacity_blocks: u64,
+    /// Resident blocks → the LRU key (migration sequence number).
+    resident: HashMap<VaBlockId, u64>,
+    /// Monotone count of evictions performed.
+    evictions: u64,
+}
+
+impl GpuMemoryManager {
+    /// A manager over `capacity_blocks` 2 MiB chunks of device memory.
+    pub fn new(capacity_blocks: u64) -> Self {
+        assert!(capacity_blocks > 0, "GPU must have at least one block of memory");
+        GpuMemoryManager {
+            capacity_blocks,
+            resident: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Device capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    /// Currently allocated blocks.
+    pub fn resident_blocks(&self) -> u64 {
+        self.resident.len() as u64
+    }
+
+    /// Whether `block` holds a GPU allocation.
+    pub fn is_resident(&self, block: VaBlockId) -> bool {
+        self.resident.contains_key(&block)
+    }
+
+    /// Monotone eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Record that a batch migrated pages into `block` at sequence `seq`
+    /// (refreshes the LRU key).
+    pub fn touch(&mut self, block: VaBlockId, seq: u64) {
+        if let Some(k) = self.resident.get_mut(&block) {
+            *k = seq;
+        }
+    }
+
+    /// Ensure `block` holds a GPU allocation, evicting LRU victims if the
+    /// device is full. `seq` is the requesting batch's sequence number
+    /// (becomes the block's LRU key).
+    pub fn ensure_resident(&mut self, block: VaBlockId, seq: u64) -> EvictOutcome {
+        if let Some(k) = self.resident.get_mut(&block) {
+            *k = seq;
+            return EvictOutcome::AlreadyResident;
+        }
+        if (self.resident.len() as u64) < self.capacity_blocks {
+            self.resident.insert(block, seq);
+            return EvictOutcome::Allocated;
+        }
+        // Memory full: evict the least-recently-migrated block. One victim
+        // frees exactly the one chunk we need, but we keep the loop for
+        // robustness against future multi-chunk requests.
+        let mut victims = Vec::new();
+        while (self.resident.len() as u64) >= self.capacity_blocks {
+            let victim = self
+                .resident
+                .iter()
+                .min_by_key(|(id, &k)| (k, id.0))
+                .map(|(&id, _)| id)
+                .expect("resident map non-empty when full");
+            self.resident.remove(&victim);
+            self.evictions += 1;
+            victims.push(victim);
+        }
+        self.resident.insert(block, seq);
+        EvictOutcome::Evicted(victims)
+    }
+
+    /// Release `block`'s allocation without counting an eviction (teardown).
+    pub fn release(&mut self, block: VaBlockId) {
+        self.resident.remove(&block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_until_full_then_evicts_lru() {
+        let mut mm = GpuMemoryManager::new(3);
+        assert_eq!(mm.ensure_resident(VaBlockId(1), 1), EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(2), 2), EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(3), 3), EvictOutcome::Allocated);
+        // Full: block 1 is LRU.
+        assert_eq!(
+            mm.ensure_resident(VaBlockId(4), 4),
+            EvictOutcome::Evicted(vec![VaBlockId(1)])
+        );
+        assert!(!mm.is_resident(VaBlockId(1)));
+        assert!(mm.is_resident(VaBlockId(4)));
+        assert_eq!(mm.evictions(), 1);
+    }
+
+    #[test]
+    fn touch_refreshes_lru_order() {
+        let mut mm = GpuMemoryManager::new(2);
+        mm.ensure_resident(VaBlockId(1), 1);
+        mm.ensure_resident(VaBlockId(2), 2);
+        mm.touch(VaBlockId(1), 3); // block 1 now most recent
+        assert_eq!(
+            mm.ensure_resident(VaBlockId(3), 4),
+            EvictOutcome::Evicted(vec![VaBlockId(2)])
+        );
+    }
+
+    #[test]
+    fn already_resident_refreshes_key() {
+        let mut mm = GpuMemoryManager::new(2);
+        mm.ensure_resident(VaBlockId(1), 1);
+        mm.ensure_resident(VaBlockId(2), 2);
+        assert_eq!(mm.ensure_resident(VaBlockId(1), 3), EvictOutcome::AlreadyResident);
+        // Block 2 is now LRU.
+        assert_eq!(
+            mm.ensure_resident(VaBlockId(9), 4),
+            EvictOutcome::Evicted(vec![VaBlockId(2)])
+        );
+    }
+
+    #[test]
+    fn eviction_order_is_earliest_allocated_without_touches() {
+        // The Sec. 5.4 observation: with no hit information, LRU degrades
+        // to allocation order.
+        let mut mm = GpuMemoryManager::new(4);
+        for i in 1..=4u64 {
+            mm.ensure_resident(VaBlockId(i), i);
+        }
+        let mut evicted = Vec::new();
+        for i in 5..=8u64 {
+            if let EvictOutcome::Evicted(v) = mm.ensure_resident(VaBlockId(i), i) {
+                evicted.extend(v);
+            }
+        }
+        assert_eq!(
+            evicted,
+            vec![VaBlockId(1), VaBlockId(2), VaBlockId(3), VaBlockId(4)]
+        );
+    }
+
+    #[test]
+    fn release_frees_without_counting_eviction() {
+        let mut mm = GpuMemoryManager::new(1);
+        mm.ensure_resident(VaBlockId(1), 1);
+        mm.release(VaBlockId(1));
+        assert_eq!(mm.resident_blocks(), 0);
+        assert_eq!(mm.evictions(), 0);
+        assert_eq!(mm.ensure_resident(VaBlockId(2), 2), EvictOutcome::Allocated);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_capacity_rejected() {
+        let _ = GpuMemoryManager::new(0);
+    }
+}

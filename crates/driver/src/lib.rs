@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # uvm-driver — the UVM driver model
+//!
+//! This crate reimplements the documented logic of the `nvidia-uvm` driver
+//! that Allen & Ge (SC '21) instrument and analyze: it is the paper's
+//! subject, rebuilt as a deterministic state machine over the `uvm-gpu`
+//! device model and the `uvm-hostos` substrate.
+//!
+//! * [`policy`] — driver tunables: batch size limit (256 by default),
+//!   prefetching on/off, per-fault metadata logging.
+//! * [`bitmap`] — 512-bit per-VABlock page bitmaps.
+//! * [`va_block`] / [`va_space`] — the 2 MiB VABlock state machine and the
+//!   managed-allocation registry.
+//! * [`dedup`] — batch duplicate-fault classification: type 1 (same
+//!   address, same μTLB) vs type 2 (same address, different μTLBs).
+//! * [`prefetch`] — the reactive tree-based density prefetcher, confined to
+//!   a single VABlock (64 KiB leaf regions, >50 % density threshold).
+//! * [`evict`] — the GPU physical-memory manager: VABlock-granular
+//!   allocation with LRU ("effectively earliest-allocated", Sec. 5.4)
+//!   eviction.
+//! * [`batch`] — [`BatchRecord`], the batch-level instrumentation mirroring
+//!   the paper's modified-driver logs: component times (fetch, DMA setup,
+//!   CPU unmap, population, transfer, eviction), fault counts, duplicate
+//!   counts, VABlock counts.
+//! * [`service`] — [`UvmDriver`], the fault-servicing pipeline itself:
+//!   fetch → deduplicate → per-VABlock service (DMA setup, CPU unmap,
+//!   eviction, population, migration, page-table update, prefetch) →
+//!   flush → replay.
+
+pub mod advise;
+pub mod batch;
+pub mod bitmap;
+pub mod dedup;
+pub mod evict;
+pub mod policy;
+pub mod prefetch;
+pub mod service;
+pub mod va_block;
+pub mod va_space;
+
+pub use advise::MemAdvise;
+pub use batch::BatchRecord;
+pub use bitmap::PageBitmap;
+pub use dedup::{classify_duplicates, DedupResult};
+pub use evict::{EvictOutcome, GpuMemoryManager};
+pub use policy::DriverPolicy;
+pub use prefetch::compute_prefetch;
+pub use service::UvmDriver;
+pub use va_block::VaBlockState;
+pub use va_space::VaSpace;

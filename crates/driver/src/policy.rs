@@ -1,0 +1,121 @@
+//! Driver tunables.
+
+use serde::{Deserialize, Serialize};
+
+/// UVM driver policy knobs. Defaults match the stock `nvidia-uvm` driver
+/// configuration the paper studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriverPolicy {
+    /// Maximum faults fetched into one batch. The stock driver uses 256;
+    /// Fig. 9 sweeps this up to 6144.
+    pub batch_limit: usize,
+    /// Whether the tree-based density prefetcher is active (`uvm_perf_prefetch`).
+    pub prefetch_enabled: bool,
+    /// Density threshold for the prefetcher: a subtree is prefetched when
+    /// strictly more than this fraction of its pages are faulted/resident.
+    pub prefetch_threshold: f64,
+    /// Whether to retain per-fault metadata (the paper's first instrumented
+    /// driver variant). Costs memory on long runs; batch-level records are
+    /// always kept.
+    pub log_fault_metadata: bool,
+    /// Whether duplicate faults are collapsed before servicing (ablation
+    /// knob; the stock driver always deduplicates). When disabled, every
+    /// duplicate incurs redundant per-fault servicing work.
+    pub dedup_enabled: bool,
+    /// Whether the fault buffer is flushed before each replay (ablation
+    /// knob; the stock driver always flushes). When disabled, stale
+    /// in-flight faults survive into later batches instead of being
+    /// dropped and re-generated.
+    pub flush_on_replay: bool,
+    /// Thrashing mitigation (the real driver's `uvm_perf_thrashing`
+    /// module, simplified): a block refaulted within
+    /// `thrashing_window` batches of its eviction is *pinned* host-side —
+    /// mapped remotely instead of re-migrated — for `thrashing_pin`
+    /// batches, breaking eviction ping-pong. Off by default (the paper's
+    /// analysis runs without it).
+    pub thrashing_mitigation: bool,
+    /// Eviction→refault distance (in batches) that counts as thrashing.
+    pub thrashing_window: u64,
+    /// How long (in batches) a thrashing block stays pinned host-side.
+    pub thrashing_pin: u64,
+}
+
+impl Default for DriverPolicy {
+    fn default() -> Self {
+        DriverPolicy {
+            batch_limit: 256,
+            prefetch_enabled: false,
+            prefetch_threshold: 0.5,
+            log_fault_metadata: false,
+            dedup_enabled: true,
+            flush_on_replay: true,
+            thrashing_mitigation: false,
+            thrashing_window: 16,
+            thrashing_pin: 64,
+        }
+    }
+}
+
+impl DriverPolicy {
+    /// Stock configuration with prefetching enabled (the driver default in
+    /// production; the paper flips it per experiment).
+    pub fn with_prefetch() -> Self {
+        DriverPolicy {
+            prefetch_enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style batch limit override (Fig. 9 sweep).
+    pub fn batch_limit(mut self, limit: usize) -> Self {
+        self.batch_limit = limit;
+        self
+    }
+
+    /// Builder-style fault-metadata logging toggle.
+    pub fn log_faults(mut self, on: bool) -> Self {
+        self.log_fault_metadata = on;
+        self
+    }
+
+    /// Builder-style dedup toggle (ablation).
+    pub fn dedup(mut self, on: bool) -> Self {
+        self.dedup_enabled = on;
+        self
+    }
+
+    /// Builder-style flush-before-replay toggle (ablation).
+    pub fn flush(mut self, on: bool) -> Self {
+        self.flush_on_replay = on;
+        self
+    }
+
+    /// Builder-style thrashing-mitigation toggle (extension).
+    pub fn thrashing(mut self, on: bool) -> Self {
+        self.thrashing_mitigation = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_stock_driver() {
+        let p = DriverPolicy::default();
+        assert_eq!(p.batch_limit, 256);
+        assert!(!p.prefetch_enabled);
+        assert_eq!(p.prefetch_threshold, 0.5);
+        assert!(p.dedup_enabled);
+        assert!(p.flush_on_replay);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = DriverPolicy::with_prefetch().batch_limit(1024).log_faults(true);
+        assert!(p.prefetch_enabled);
+        assert_eq!(p.batch_limit, 1024);
+        assert!(p.log_fault_metadata);
+    }
+}

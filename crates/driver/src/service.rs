@@ -1,0 +1,961 @@
+//! The fault-servicing pipeline.
+//!
+//! [`UvmDriver::service_batch`] is the model of the driver's per-batch work
+//! loop (paper Secs. 2.2, 4, 5): fetch the batch, deduplicate it, then
+//! service each distinct VABlock — first-touch DMA-map setup, fault-path
+//! CPU unmap, eviction under memory pressure, population, migration,
+//! page-table updates, and (optionally) tree-based prefetch expansion. All
+//! state transitions are applied to the GPU device model and the host OS
+//! substrate, and a [`BatchRecord`] capturing the component costs is
+//! appended to the driver's log.
+
+use std::collections::{BTreeMap, HashSet};
+
+use uvm_gpu::device::Gpu;
+use uvm_gpu::fault::{AccessKind, FaultRecord};
+use uvm_hostos::dma::DmaSpace;
+use uvm_hostos::host::HostMemory;
+use uvm_sim::cost::CostModel;
+use uvm_sim::mem::{Allocation, VaBlockId, PAGE_SIZE};
+use uvm_sim::rng::DetRng;
+use uvm_sim::time::{SimDuration, SimTime};
+
+use crate::advise::MemAdvise;
+use crate::batch::{BatchRecord, FaultMeta};
+use crate::bitmap::PageBitmap;
+use crate::dedup::classify_duplicates;
+use crate::evict::{EvictOutcome, GpuMemoryManager};
+use crate::policy::DriverPolicy;
+use crate::prefetch::compute_prefetch;
+use crate::va_space::VaSpace;
+
+/// The UVM driver: policy, managed-memory registry, GPU memory manager,
+/// DMA space, and the batch log.
+#[derive(Debug)]
+pub struct UvmDriver {
+    policy: DriverPolicy,
+    cost: CostModel,
+    /// Managed allocations and VABlock states.
+    pub va_space: VaSpace,
+    mem: GpuMemoryManager,
+    dma: DmaSpace,
+    rng: DetRng,
+    batch_seq: u64,
+    /// Batch-level instrumentation (one record per serviced batch).
+    pub records: Vec<BatchRecord>,
+    /// Per-fault metadata, kept when `policy.log_fault_metadata`.
+    pub fault_log: Vec<FaultMeta>,
+}
+
+impl UvmDriver {
+    /// A driver managing a GPU with `capacity_blocks` 2 MiB chunks.
+    pub fn new(policy: DriverPolicy, cost: CostModel, capacity_blocks: u64, seed: u64) -> Self {
+        UvmDriver {
+            policy,
+            cost,
+            va_space: VaSpace::new(),
+            mem: GpuMemoryManager::new(capacity_blocks),
+            dma: DmaSpace::new(),
+            rng: DetRng::new(seed ^ 0xD21A_55E5),
+            batch_seq: 0,
+            records: Vec::new(),
+            fault_log: Vec::new(),
+        }
+    }
+
+    /// Driver policy.
+    pub fn policy(&self) -> &DriverPolicy {
+        &self.policy
+    }
+
+    /// The GPU memory manager (read access for experiments).
+    pub fn memory(&self) -> &GpuMemoryManager {
+        &self.mem
+    }
+
+    /// Register a managed allocation (the `cudaMallocManaged` entry point).
+    pub fn managed_alloc(&mut self, alloc: Allocation) {
+        self.va_space.register(alloc);
+    }
+
+    /// A CPU thread on `core` touches `page` of managed memory: the host OS
+    /// maps it, and the driver records that host data now exists for the
+    /// page (so a later migration pays a real transfer, not just
+    /// population).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` lies outside every registered managed allocation.
+    pub fn cpu_touch(
+        &mut self,
+        host: &mut HostMemory,
+        page: uvm_sim::mem::PageNum,
+        core: u32,
+        write: bool,
+    ) {
+        host.cpu_touch(page, core, write);
+        let state = self.va_space.block_mut(page.va_block());
+        state.host_data.set(page.index_in_block());
+    }
+
+    /// Apply a `cudaMemAdvise` hint to every VABlock of `alloc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alloc` was not registered via [`Self::managed_alloc`].
+    pub fn set_advise(&mut self, alloc: &Allocation, advise: MemAdvise) {
+        for block in alloc.va_blocks() {
+            self.va_space.block_mut(block).advise = Some(advise);
+        }
+    }
+
+    /// `cudaMemPrefetchAsync(alloc, device)`: driver-initiated bulk
+    /// migration of the whole allocation, block by block, before any GPU
+    /// fault. Pays the same compulsory costs a fault-driven first touch
+    /// would (DMA setup, CPU unmap, population, transfer, PTE updates) but
+    /// amortized into one operation per VABlock. Appends one record
+    /// (flagged `driver_prefetch_op`) and returns its end time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alloc` was not registered via [`Self::managed_alloc`].
+    pub fn prefetch_async(
+        &mut self,
+        alloc: &Allocation,
+        gpu: &mut Gpu,
+        host: &mut HostMemory,
+        start: SimTime,
+    ) -> SimTime {
+        let seq = self.batch_seq;
+        self.batch_seq += 1;
+        let mut rec = BatchRecord {
+            seq,
+            start,
+            driver_prefetch_op: true,
+            ..Default::default()
+        };
+        for block_id in alloc.va_blocks() {
+            let state = self.va_space.block_mut(block_id);
+            let valid = state.valid_pages;
+            let migrate = Self::range_bitmap_of(valid).and_not(&state.gpu_resident);
+            if migrate.is_empty() {
+                continue;
+            }
+            rec.num_va_blocks += 1;
+            rec.served_blocks.push(block_id.0);
+            rec.per_block_faults.push(0);
+            rec.t_fixed += self.cost.per_vablock_fixed;
+            self.ensure_block_allocated(block_id, seq, gpu, &mut rec);
+            self.setup_block_dma(block_id, &mut rec);
+            self.unmap_block_if_needed(block_id, host, &mut rec);
+            self.migrate_pages(block_id, &migrate, gpu, &mut rec);
+        }
+        rec.t_fixed += self.cost.per_batch_fixed;
+        rec.end = start + rec.component_sum();
+        let end = rec.end;
+        self.records.push(rec);
+        end
+    }
+
+    /// Sum of all batch service times (the paper's "Batch" column in
+    /// Table 4).
+    pub fn total_batch_time(&self) -> SimDuration {
+        self.records.iter().map(|r| r.service_time()).sum()
+    }
+
+    /// Number of batches serviced.
+    pub fn num_batches(&self) -> u64 {
+        self.batch_seq
+    }
+
+    /// Service one fetched batch starting at `start`. Applies all state
+    /// changes to `gpu` and `host`, appends and returns the batch record.
+    /// The caller (engine) is responsible for the subsequent buffer flush
+    /// and replay.
+    pub fn service_batch(
+        &mut self,
+        faults: &[FaultRecord],
+        gpu: &mut Gpu,
+        host: &mut HostMemory,
+        start: SimTime,
+    ) -> &BatchRecord {
+        let seq = self.batch_seq;
+        self.batch_seq += 1;
+
+        let mut rec = BatchRecord {
+            seq,
+            start,
+            raw_faults: faults.len() as u64,
+            ..Default::default()
+        };
+
+        // ---- fetch + composition accounting ----
+        rec.t_fetch = self.cost.fetch_per_fault * faults.len() as u64;
+        let mut sms = HashSet::new();
+        let mut utlbs = HashSet::new();
+        for f in faults {
+            sms.insert(f.sm);
+            utlbs.insert(f.utlb);
+            match f.kind {
+                AccessKind::Read => rec.read_faults += 1,
+                AccessKind::Write => rec.write_faults += 1,
+                AccessKind::Prefetch => rec.prefetch_faults += 1,
+            }
+        }
+        rec.distinct_sms = sms.len() as u32;
+        rec.distinct_utlbs = utlbs.len() as u32;
+
+        // ---- per-fault metadata (paper's first driver variant) ----
+        if self.policy.log_fault_metadata {
+            let mut seen = HashSet::with_capacity(faults.len());
+            for f in faults {
+                let was_duplicate = !seen.insert(f.page);
+                self.fault_log.push(FaultMeta {
+                    batch_seq: seq,
+                    page: f.page.0,
+                    kind: f.kind.into(),
+                    sm: f.sm,
+                    utlb: f.utlb,
+                    arrival: f.arrival,
+                    was_duplicate,
+                });
+            }
+        }
+
+        // ---- deduplicate ----
+        let dedup = classify_duplicates(faults);
+        rec.dup_same_utlb = dedup.dup_same_utlb;
+        rec.dup_cross_utlb = dedup.dup_cross_utlb;
+        rec.unique_pages = dedup.unique.len() as u64;
+        rec.t_preprocess = self.cost.preprocess_per_fault * faults.len() as u64;
+        if !self.policy.dedup_enabled {
+            // Ablation: without dedup, every duplicate walks the servicing
+            // path redundantly — block lookup, residency check, page-table
+            // no-op — before being discovered already-handled.
+            let redundant = dedup.total_dups();
+            rec.t_preprocess += (self.cost.preprocess_per_fault
+                + self.cost.pte_update_per_page)
+                * redundant;
+        }
+
+        // ---- group by VABlock (BTreeMap: deterministic service order) ----
+        let mut groups: BTreeMap<VaBlockId, Vec<FaultRecord>> = BTreeMap::new();
+        for f in &dedup.unique {
+            groups.entry(f.page.va_block()).or_default().push(*f);
+        }
+        rec.num_va_blocks = groups.len() as u64;
+
+        // ---- per-VABlock servicing ----
+        for (block_id, block_faults) in groups {
+            rec.t_fixed += self.cost.per_vablock_fixed;
+            rec.served_blocks.push(block_id.0);
+            rec.per_block_faults.push(block_faults.len() as u32);
+
+            // Faulted pages not already resident (or remote-mapped) on the
+            // GPU.
+            let (valid, advise, resident_now) = {
+                let state = self.va_space.block_mut(block_id);
+                (
+                    state.valid_pages,
+                    state.advise,
+                    state.gpu_resident.or(&state.remote_mapped),
+                )
+            };
+            let any_write = block_faults
+                .iter()
+                .any(|f| f.kind == AccessKind::Write);
+            let mut faulted = PageBitmap::EMPTY;
+            for f in &block_faults {
+                let idx = f.page.index_in_block();
+                debug_assert!(
+                    (idx as u32) < valid,
+                    "fault beyond allocation end in block {block_id:?}"
+                );
+                faulted.set(idx);
+            }
+            let faulted = faulted.and_not(&resident_now);
+
+            // Thrashing mitigation (extension, off by default): a block
+            // refaulted shortly after its eviction ping-pongs; pin it
+            // host-side for a while instead of re-migrating.
+            if self.policy.thrashing_mitigation {
+                let state = self.va_space.block_mut(block_id);
+                if let Some(evicted_at) = state.last_evict_seq {
+                    if state.pinned_until.is_none()
+                        && seq.saturating_sub(evicted_at) <= self.policy.thrashing_window
+                    {
+                        state.pinned_until = Some(seq + self.policy.thrashing_pin);
+                        rec.thrashing_pins += 1;
+                    }
+                }
+                if let Some(until) = state.pinned_until {
+                    if seq >= until {
+                        // Pin expired: unmap the remote mappings so the
+                        // next faults migrate normally.
+                        state.pinned_until = None;
+                        let remote = state.remote_mapped;
+                        state.remote_mapped.reset();
+                        gpu.unmap_pages(remote.iter_set().map(|i| block_id.page_at(i)));
+                    }
+                }
+            }
+            let pinned = self.va_space.block_mut(block_id).pinned_until.is_some();
+
+            // PreferredLocationHost: establish remote mappings over the
+            // interconnect instead of migrating — no device memory, no
+            // eviction pressure, but every access crosses PCIe.
+            if pinned || advise == Some(MemAdvise::PreferredLocationHost) {
+                if faulted.is_empty() {
+                    continue;
+                }
+                self.setup_block_dma(block_id, &mut rec);
+                let n = faulted.count() as u64;
+                rec.t_pte += self.cost.pte_time(n);
+                rec.remote_mapped_pages += n;
+                let state = self.va_space.block_mut(block_id);
+                state.remote_mapped.merge(&faulted);
+                gpu.map_pages(faulted.iter_set().map(|i| block_id.page_at(i)));
+                continue;
+            }
+
+            // Prefetch expansion, confined to this block.
+            let prefetched = if self.policy.prefetch_enabled {
+                compute_prefetch(
+                    &self.va_space.block(block_id).gpu_resident,
+                    &faulted,
+                    valid,
+                    self.policy.prefetch_threshold,
+                )
+            } else {
+                PageBitmap::EMPTY
+            };
+            rec.prefetched_pages += prefetched.count() as u64;
+            let migrate = faulted.or(&prefetched);
+            if migrate.is_empty() {
+                // Stale faults for already-resident pages: management cost
+                // only.
+                continue;
+            }
+
+            self.ensure_block_allocated(block_id, seq, gpu, &mut rec);
+            self.setup_block_dma(block_id, &mut rec);
+
+            // Fault-path CPU unmap — skipped under ReadMostly duplication
+            // unless a write collapses it. (Simplification: the GPU page
+            // table carries no write permissions, so a write to an
+            // already-duplicated *resident* page does not re-fault; the
+            // collapse happens only when the write itself faults. Data
+            // values are not modelled, so the stale CPU copy is cost-
+            // neutral.)
+            let read_mostly = advise == Some(MemAdvise::ReadMostly) && !any_write;
+            if !read_mostly {
+                self.unmap_block_if_needed(block_id, host, &mut rec);
+            }
+            self.migrate_pages(block_id, &migrate, gpu, &mut rec);
+            let state = self.va_space.block_mut(block_id);
+            state.read_duplicated = read_mostly;
+        }
+
+        rec.t_fixed += self.cost.per_batch_fixed;
+
+        // Host-side scheduling noise on the management portion (everything
+        // but the DMA transfers, which are hardware-paced).
+        let mgmt = rec.component_sum() - rec.t_transfer - rec.t_evict;
+        let jitter = self.rng.jitter_factor(self.cost.service_jitter);
+        let jittered_extra = mgmt.mul_f64(jitter).saturating_sub(mgmt);
+        rec.t_fixed += jittered_extra;
+
+        rec.end = start + rec.component_sum();
+        self.records.push(rec);
+        self.records.last().expect("just pushed")
+    }
+
+    /// A bitmap covering pages `0..valid`.
+    fn range_bitmap_of(valid: u32) -> PageBitmap {
+        let mut bm = PageBitmap::EMPTY;
+        bm.set_range(0, valid as usize);
+        bm
+    }
+
+    /// Ensure `block_id` holds a GPU physical allocation, performing LRU
+    /// evictions (with their fail/writeback/restart costs) if the device
+    /// is full.
+    fn ensure_block_allocated(
+        &mut self,
+        block_id: VaBlockId,
+        seq: u64,
+        gpu: &mut Gpu,
+        rec: &mut BatchRecord,
+    ) {
+        match self.mem.ensure_resident(block_id, seq) {
+            EvictOutcome::AlreadyResident => {}
+            EvictOutcome::Allocated => {
+                self.va_space.block_mut(block_id).gpu_allocated = true;
+            }
+            EvictOutcome::Evicted(victims) => {
+                for victim in victims {
+                    rec.evicted_blocks.push(victim.0);
+                    let vstate = self.va_space.block_mut(victim);
+                    let evict_pages: Vec<_> =
+                        vstate.gpu_resident.iter_set().map(|i| victim.page_at(i)).collect();
+                    // Read-duplicated victims have an intact host copy:
+                    // dropping the GPU copy needs no writeback.
+                    let bytes = if vstate.read_duplicated {
+                        0
+                    } else {
+                        evict_pages.len() as u64 * PAGE_SIZE
+                    };
+                    rec.evictions += 1;
+                    rec.bytes_evicted += bytes;
+                    // Fail the allocation, write the victim back, and
+                    // restart the migration step (Sec. 5.1). The data
+                    // returns to host RAM but is NOT re-mapped into CPU
+                    // page tables — so a re-migration later skips the
+                    // unmap cost (the Fig. 13 levels).
+                    rec.t_evict += self.cost.alloc_fail
+                        + self.cost.evict_fixed
+                        + self.cost.d2h_time(bytes);
+                    gpu.unmap_pages(evict_pages);
+                    vstate.evict();
+                    vstate.last_evict_seq = Some(rec.seq);
+                }
+                rec.t_evict += self.cost.service_restart;
+                self.va_space.block_mut(block_id).gpu_allocated = true;
+            }
+        }
+    }
+
+    /// First GPU touch of a block: create DMA mappings for every valid
+    /// page and store reverse mappings in the kernel radix tree.
+    /// Compulsory; prefetching cannot eliminate it (Sec. 5.2).
+    fn setup_block_dma(&mut self, block_id: VaBlockId, rec: &mut BatchRecord) {
+        let state = self.va_space.block_mut(block_id);
+        if state.dma_mapped {
+            return;
+        }
+        let valid = state.valid_pages;
+        let pages = (0..valid as usize).map(|i| block_id.page_at(i));
+        let report = self.dma.map_pages(pages);
+        let base = self
+            .cost
+            .dma_setup_time(report.pages_mapped, report.radix_nodes_allocated);
+        let tail = self
+            .rng
+            .heavy_tail(self.cost.dma_tail_prob, self.cost.dma_tail_max_factor);
+        rec.t_dma_setup += base.mul_f64(tail);
+        self.va_space.block_mut(block_id).dma_mapped = true;
+        rec.new_va_blocks += 1;
+    }
+
+    /// Fault-path CPU unmap: tear down every CPU mapping in the block
+    /// before migrating.
+    fn unmap_block_if_needed(
+        &mut self,
+        block_id: VaBlockId,
+        host: &mut HostMemory,
+        rec: &mut BatchRecord,
+    ) {
+        if host.mapped_pages_in_block(block_id) > 0 {
+            let report = host.unmap_mapping_range(block_id);
+            rec.cpu_pages_unmapped += report.pages_unmapped;
+            rec.t_unmap += self
+                .cost
+                .unmap_time(report.pages_unmapped, report.mapper_cores)
+                .mul_f64(report.numa_factor);
+        }
+    }
+
+    /// Population (zero-fill of fresh GPU pages), migration, and
+    /// page-table updates for `migrate` pages of `block_id`. Only pages
+    /// with host data pay a transfer; never-touched pages are populated
+    /// directly on the GPU.
+    fn migrate_pages(
+        &mut self,
+        block_id: VaBlockId,
+        migrate: &PageBitmap,
+        gpu: &mut Gpu,
+        rec: &mut BatchRecord,
+    ) {
+        let state = self.va_space.block_mut(block_id);
+        let n_pages = migrate.count() as u64;
+        let data_pages = migrate.and(&state.host_data).count() as u64;
+        let bytes = data_pages * PAGE_SIZE;
+        rec.t_populate += self.cost.populate_time(n_pages);
+        rec.t_transfer += self.cost.h2d_time(bytes);
+        rec.t_pte += self.cost.pte_time(n_pages);
+        rec.pages_migrated += n_pages;
+        rec.bytes_migrated += bytes;
+
+        state.gpu_resident.merge(migrate);
+        state.last_migrate_seq = rec.seq;
+        gpu.map_pages(migrate.iter_set().map(|i| block_id.page_at(i)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_gpu::spec::GpuSpec;
+    use uvm_sim::mem::{AddressSpaceAllocator, VABLOCK_SIZE};
+
+    fn setup(capacity_blocks: u64, policy: DriverPolicy) -> (UvmDriver, Gpu, HostMemory) {
+        let cost = CostModel::titan_v();
+        let driver = UvmDriver::new(policy, cost.clone(), capacity_blocks, 42);
+        let gpu = Gpu::new(GpuSpec::small(capacity_blocks * VABLOCK_SIZE), cost);
+        (driver, gpu, HostMemory::new())
+    }
+
+    fn fault(page: uvm_sim::mem::PageNum, utlb: u32, kind: AccessKind) -> FaultRecord {
+        FaultRecord {
+            page,
+            kind,
+            sm: utlb * 2,
+            utlb,
+            warp: 0,
+            arrival: SimTime(0),
+            dup_of_outstanding: false,
+        }
+    }
+
+    #[test]
+    fn simple_batch_migrates_faulted_pages() {
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        for i in 0..alloc.num_pages() {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+
+        let faults: Vec<_> = (0..10).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(1000));
+        assert_eq!(rec.raw_faults, 10);
+        assert_eq!(rec.unique_pages, 10);
+        assert_eq!(rec.pages_migrated, 10);
+        assert_eq!(rec.bytes_migrated, 10 * PAGE_SIZE);
+        assert_eq!(rec.num_va_blocks, 1);
+        assert_eq!(rec.new_va_blocks, 1);
+        assert!(rec.t_dma_setup > SimDuration::ZERO, "first touch pays DMA setup");
+        assert!(gpu.is_resident(alloc.page(0)));
+        assert!(gpu.is_resident(alloc.page(9)));
+        assert!(!gpu.is_resident(alloc.page(10)));
+        assert!(rec.end > rec.start);
+    }
+
+    #[test]
+    fn untouched_pages_migrate_without_transfer() {
+        // Pages never written by the CPU have no host data: the driver
+        // populates them directly on the GPU, moving zero bytes.
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let faults: Vec<_> = (0..10).map(|i| fault(alloc.page(i), 0, AccessKind::Write)).collect();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        assert_eq!(rec.pages_migrated, 10);
+        assert_eq!(rec.bytes_migrated, 0, "no host data, nothing to transfer");
+        assert_eq!(rec.t_transfer, SimDuration::ZERO);
+        assert!(rec.t_populate > SimDuration::ZERO);
+        assert!(gpu.is_resident(alloc.page(0)));
+    }
+
+    #[test]
+    fn second_batch_same_block_skips_dma_setup() {
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+
+        let f1: Vec<_> = (0..4).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
+        driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0));
+        let f2: Vec<_> = (4..8).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
+        let rec = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000));
+        assert_eq!(rec.new_va_blocks, 0);
+        assert_eq!(rec.t_dma_setup, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duplicates_counted_but_not_migrated() {
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+
+        let p = alloc.page(0);
+        let faults = vec![
+            fault(p, 0, AccessKind::Read),
+            fault(p, 0, AccessKind::Read), // type 1
+            fault(p, 2, AccessKind::Read), // type 2
+        ];
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        assert_eq!(rec.raw_faults, 3);
+        assert_eq!(rec.unique_pages, 1);
+        assert_eq!(rec.dup_same_utlb, 1);
+        assert_eq!(rec.dup_cross_utlb, 1);
+        assert_eq!(rec.pages_migrated, 1);
+    }
+
+    #[test]
+    fn cpu_resident_block_pays_unmap_once() {
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        // CPU initializes the first 100 pages from core 0.
+        for i in 0..100 {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+
+        let f1 = vec![fault(alloc.page(0), 0, AccessKind::Read)];
+        let r1 = driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0)).clone();
+        assert_eq!(r1.cpu_pages_unmapped, 100, "whole block range unmapped");
+        assert!(r1.t_unmap > SimDuration::ZERO);
+
+        let f2 = vec![fault(alloc.page(1), 0, AccessKind::Read)];
+        let r2 = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000)).clone();
+        assert_eq!(r2.cpu_pages_unmapped, 0, "second touch pays no unmap");
+        assert_eq!(r2.t_unmap, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn multithreaded_init_inflates_unmap_cost() {
+        // Fig. 11: same pages, same faults — more mapper cores, higher cost.
+        let run = |threads: u32| {
+            let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+            let mut asa = AddressSpaceAllocator::new();
+            let alloc = asa.alloc(VABLOCK_SIZE);
+            driver.managed_alloc(alloc);
+            for i in 0..512 {
+                driver.cpu_touch(&mut host, alloc.page(i), (i as u32) % threads, true);
+            }
+            let f = vec![fault(alloc.page(0), 0, AccessKind::Read)];
+            driver.service_batch(&f, &mut gpu, &mut host, SimTime(0)).t_unmap
+        };
+        let single = run(1);
+        let multi = run(32);
+        assert!(multi > single * 2, "single {single}, multi {multi}");
+    }
+
+    #[test]
+    fn oversubscription_evicts_lru_block() {
+        let (mut driver, mut gpu, mut host) = setup(2, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(3 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let blocks: Vec<VaBlockId> = alloc.va_blocks().collect();
+
+        // Touch blocks 0, 1, then 2: block 0 must be evicted.
+        for (i, &b) in blocks.iter().enumerate() {
+            let f = vec![fault(b.first_page(), 0, AccessKind::Read)];
+            let rec = driver.service_batch(&f, &mut gpu, &mut host, SimTime(i as u64 * 1_000_000));
+            if i < 2 {
+                assert_eq!(rec.evictions, 0);
+            } else {
+                assert_eq!(rec.evictions, 1);
+                assert!(rec.t_evict > SimDuration::ZERO);
+                assert!(rec.bytes_evicted > 0);
+            }
+        }
+        assert!(!gpu.is_resident(blocks[0].first_page()));
+        assert!(gpu.is_resident(blocks[2].first_page()));
+        assert_eq!(driver.va_space.block(blocks[0]).evict_count, 1);
+    }
+
+    #[test]
+    fn re_migration_after_eviction_skips_unmap() {
+        // Fig. 13's cost levels: the first migration pays unmap; after an
+        // eviction, re-migration does not (data is in host RAM, unmapped).
+        let (mut driver, mut gpu, mut host) = setup(1, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(2 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let blocks: Vec<VaBlockId> = alloc.va_blocks().collect();
+        for i in 0..1024 {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+
+        // Migrate block 0 (pays unmap), then block 1 (evicts 0, pays its
+        // own unmap), then block 0 again (evicts 1, NO unmap).
+        let r0 = driver
+            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
+            .clone();
+        let r1 = driver
+            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))
+            .clone();
+        let r2 = driver
+            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(2_000_000))
+            .clone();
+        assert!(r0.t_unmap > SimDuration::ZERO);
+        assert!(r1.t_unmap > SimDuration::ZERO);
+        assert_eq!(r1.evictions, 1);
+        assert_eq!(r2.evictions, 1);
+        assert_eq!(r2.t_unmap, SimDuration::ZERO, "re-migration skips unmap");
+    }
+
+    #[test]
+    fn prefetch_expands_dense_faults() {
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::with_prefetch());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+
+        // 12 of the first 16 pages fault: the 64 KiB leaf upgrades.
+        let faults: Vec<_> = (0..12).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        assert_eq!(rec.prefetched_pages, 4);
+        assert_eq!(rec.pages_migrated, 16);
+        assert!(gpu.is_resident(alloc.page(15)));
+    }
+
+    #[test]
+    fn prefetch_disabled_migrates_only_faulted() {
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let faults: Vec<_> = (0..12).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        assert_eq!(rec.prefetched_pages, 0);
+        assert_eq!(rec.pages_migrated, 12);
+        assert!(!gpu.is_resident(alloc.page(15)));
+    }
+
+    #[test]
+    fn transfer_is_minority_of_batch_time() {
+        // Fig. 7: transfer at most ~25% of batch time.
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(4 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        for i in 0..alloc.num_pages() {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+        // A realistic batch: 200 faults spread over 4 blocks.
+        let faults: Vec<_> = (0..200)
+            .map(|i| fault(alloc.page(i * 10), (i % 4) as u32, AccessKind::Read))
+            .collect();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        assert!(
+            rec.transfer_fraction() < 0.30,
+            "transfer fraction {}",
+            rec.transfer_fraction()
+        );
+    }
+
+    #[test]
+    fn fault_metadata_logged_when_enabled() {
+        let policy = DriverPolicy::default().log_faults(true);
+        let (mut driver, mut gpu, mut host) = setup(16, policy);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let p = alloc.page(0);
+        let faults = vec![fault(p, 0, AccessKind::Read), fault(p, 0, AccessKind::Read)];
+        driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        assert_eq!(driver.fault_log.len(), 2);
+        assert!(!driver.fault_log[0].was_duplicate);
+        assert!(driver.fault_log[1].was_duplicate);
+    }
+
+    #[test]
+    fn read_mostly_skips_unmap_and_writeback() {
+        let (mut driver, mut gpu, mut host) = setup(1, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(2 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        driver.set_advise(&alloc, crate::advise::MemAdvise::ReadMostly);
+        for i in 0..1024 {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+        let blocks: Vec<VaBlockId> = alloc.va_blocks().collect();
+
+        // Read fault: migrates WITHOUT unmapping the CPU copy.
+        let r0 = driver
+            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
+            .clone();
+        assert_eq!(r0.t_unmap, SimDuration::ZERO, "read duplication keeps CPU mapping");
+        assert_eq!(r0.cpu_pages_unmapped, 0);
+        assert!(r0.bytes_migrated > 0, "data still transfers");
+        assert!(host.is_cpu_mapped(blocks[0].first_page()), "CPU copy intact");
+
+        // Evicting the duplicated block (capacity 1) writes nothing back.
+        let r1 = driver
+            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))
+            .clone();
+        assert_eq!(r1.evictions, 1);
+        assert_eq!(r1.bytes_evicted, 0, "dropping a duplicate needs no writeback");
+    }
+
+    #[test]
+    fn read_mostly_write_collapses_duplication() {
+        let (mut driver, mut gpu, mut host) = setup(4, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        driver.set_advise(&alloc, crate::advise::MemAdvise::ReadMostly);
+        for i in 0..512 {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+        let rec = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Write)], &mut gpu, &mut host, SimTime(0))
+            .clone();
+        assert!(rec.t_unmap > SimDuration::ZERO, "a write collapses the duplication");
+        assert!(rec.cpu_pages_unmapped > 0);
+    }
+
+    #[test]
+    fn preferred_location_host_maps_remotely() {
+        // Capacity 1 block, but the advised allocation never consumes it.
+        let (mut driver, mut gpu, mut host) = setup(1, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(2 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        driver.set_advise(&alloc, crate::advise::MemAdvise::PreferredLocationHost);
+        for i in 0..1024 {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+        let faults: Vec<_> = (0..1024)
+            .step_by(64)
+            .map(|i| fault(alloc.page(i as u64), 0, AccessKind::Read))
+            .collect();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).clone();
+        assert_eq!(rec.pages_migrated, 0, "no migration under host preference");
+        assert_eq!(rec.bytes_migrated, 0);
+        assert_eq!(rec.remote_mapped_pages, 16);
+        assert_eq!(rec.evictions, 0, "no device memory consumed");
+        assert_eq!(rec.t_unmap, SimDuration::ZERO, "CPU mappings survive");
+        assert!(rec.t_dma_setup > SimDuration::ZERO, "remote access needs DMA maps");
+        assert!(gpu.is_resident(alloc.page(0)), "remote mapping satisfies accesses");
+        assert_eq!(driver.memory().resident_blocks(), 0);
+    }
+
+    #[test]
+    fn prefetch_async_migrates_everything_upfront() {
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(2 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        for i in 0..1024 {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+        let end = driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0));
+        assert!(end > SimTime(0));
+        let rec = driver.records.last().unwrap().clone();
+        assert!(rec.driver_prefetch_op);
+        assert_eq!(rec.pages_migrated, 1024);
+        assert_eq!(rec.num_va_blocks, 2);
+        assert!(rec.cpu_pages_unmapped == 1024, "prefetch pays the unmap too");
+        assert!(rec.t_dma_setup > SimDuration::ZERO);
+        // Subsequent faults are all hits: a batch of stale faults migrates
+        // nothing.
+        let rec2 = driver
+            .service_batch(&[fault(alloc.page(5), 0, AccessKind::Read)], &mut gpu, &mut host, end)
+            .clone();
+        assert_eq!(rec2.pages_migrated, 0);
+    }
+
+    #[test]
+    fn prefetch_async_is_idempotent() {
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0));
+        let first = driver.records.last().unwrap().pages_migrated;
+        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(10_000_000));
+        let second = driver.records.last().unwrap();
+        assert_eq!(first, 512);
+        assert_eq!(second.pages_migrated, 0, "already resident");
+        assert_eq!(second.num_va_blocks, 0);
+    }
+
+    #[test]
+    fn thrashing_pin_breaks_eviction_ping_pong() {
+        // Capacity 1, two blocks faulted alternately: without mitigation
+        // every access cycle evicts; with it, the re-faulted block pins
+        // host-side and evictions stop.
+        let run = |mitigate: bool| {
+            let policy = DriverPolicy::default().thrashing(mitigate);
+            let (mut driver, mut gpu, mut host) = setup(1, policy);
+            let mut asa = AddressSpaceAllocator::new();
+            let alloc = asa.alloc(2 * VABLOCK_SIZE);
+            driver.managed_alloc(alloc);
+            let blocks: Vec<VaBlockId> = alloc.va_blocks().collect();
+            for round in 0..12u64 {
+                let block = blocks[(round % 2) as usize];
+                let page = block.page_at((round % 512) as usize);
+                driver.service_batch(
+                    &[fault(page, 0, AccessKind::Read)],
+                    &mut gpu,
+                    &mut host,
+                    SimTime(round * 1_000_000),
+                );
+            }
+            (driver.memory().evictions(), driver.records.iter().map(|r| r.thrashing_pins).sum::<u64>())
+        };
+        let (evictions_off, pins_off) = run(false);
+        let (evictions_on, pins_on) = run(true);
+        assert_eq!(pins_off, 0);
+        assert!(pins_on > 0, "thrashing detected and pinned");
+        assert!(
+            evictions_on < evictions_off,
+            "pinning reduces evictions: {evictions_on} vs {evictions_off}"
+        );
+    }
+
+    #[test]
+    fn batch_time_grows_with_data_moved() {
+        // Fig. 6: average batch cost rises with migration size.
+        let (mut driver, mut gpu, mut host) = setup(64, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(8 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        for i in 0..alloc.num_pages() {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+
+        let small: Vec<_> = (0..8).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
+        let r_small = driver.service_batch(&small, &mut gpu, &mut host, SimTime(0)).clone();
+        let big: Vec<_> = (0..256)
+            .map(|i| fault(alloc.page(512 + i), 0, AccessKind::Read))
+            .collect();
+        let r_big = driver.service_batch(&big, &mut gpu, &mut host, SimTime(10_000_000)).clone();
+        assert!(r_big.service_time() > r_small.service_time());
+        assert!(r_big.bytes_migrated > r_small.bytes_migrated);
+    }
+
+    #[test]
+    fn more_vablocks_cost_more_at_same_size() {
+        // Fig. 10: for equal migration size, more VABlocks → higher cost.
+        let (mut driver, mut gpu, mut host) = setup(64, DriverPolicy::default());
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(32 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        // Pre-touch all blocks so neither batch pays first-touch DMA setup.
+        let warmup: Vec<_> = (0..32)
+            .map(|b| fault(alloc.page(b * 512 + 511), 0, AccessKind::Read))
+            .collect();
+        driver.service_batch(&warmup, &mut gpu, &mut host, SimTime(0));
+
+        // 64 pages in 1 block vs 64 pages across 16 blocks.
+        let concentrated: Vec<_> =
+            (0..64).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
+        let rc = driver
+            .service_batch(&concentrated, &mut gpu, &mut host, SimTime(100_000_000))
+            .clone();
+        let spread: Vec<_> = (0..64)
+            .map(|i| fault(alloc.page(512 + (i % 16) * 512 + 32 + i / 16), 0, AccessKind::Read))
+            .collect();
+        let rs = driver
+            .service_batch(&spread, &mut gpu, &mut host, SimTime(200_000_000))
+            .clone();
+        assert_eq!(rc.pages_migrated, rs.pages_migrated);
+        assert!(rs.num_va_blocks > rc.num_va_blocks);
+        assert!(
+            rs.service_time() > rc.service_time(),
+            "spread {} <= concentrated {}",
+            rs.service_time(),
+            rc.service_time()
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Warp-level micro-instruction streams.
+//!
+//! Workload generators compile each benchmark's access pattern into one
+//! [`WarpProgram`] per warp: the sequence of page-granular memory
+//! operations the warp's 32 lanes perform after coalescing. The
+//! instruction set captures exactly the semantics the paper's SASS analysis
+//! (Listing 2) identifies as fault-relevant:
+//!
+//! * [`Instr::Load`] — non-blocking: a warp may issue further independent
+//!   instructions while its load faults are outstanding.
+//! * [`Instr::Store`] — scoreboard-gated: a store cannot issue until every
+//!   previously issued faulting access of the warp has been fulfilled
+//!   (`FADD R9, R0, R9` stalls on its input registers, so `STG` — and
+//!   everything after it, since issue is in-order — waits for all prior
+//!   reads; this is why vector-addition writes always land in a later
+//!   batch than their reads).
+//! * [`Instr::Prefetch`] — `prefetch.global.L2`: requires no registers,
+//!   bypasses the scoreboard *and* the μTLB outstanding-fault slots, which
+//!   is how a single warp can fill an entire 256-fault batch (Fig. 5).
+//! * [`Instr::Delay`] — non-memory compute time between access phases.
+
+use serde::{Deserialize, Serialize};
+use uvm_sim::mem::PageNum;
+use uvm_sim::time::SimDuration;
+
+/// One warp-level instruction. `pages` lists the distinct pages the warp's
+/// lanes touch in this instruction (after intra-warp coalescing): a fully
+/// coalesced access is one page, a page-strided access is up to 32.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Global load touching `pages`.
+    Load {
+        /// Distinct pages the warp's lanes read.
+        pages: Vec<PageNum>,
+    },
+    /// Global store touching `pages`; waits for all prior outstanding
+    /// faulted accesses of this warp (scoreboard).
+    Store {
+        /// Distinct pages the warp's lanes write.
+        pages: Vec<PageNum>,
+    },
+    /// Software prefetch of `pages`.
+    Prefetch {
+        /// Distinct pages prefetched.
+        pages: Vec<PageNum>,
+    },
+    /// Compute for the given duration without memory access.
+    Delay(SimDuration),
+}
+
+impl Instr {
+    /// A load of a single page.
+    pub fn load1(page: PageNum) -> Self {
+        Instr::Load { pages: vec![page] }
+    }
+
+    /// A store of a single page.
+    pub fn store1(page: PageNum) -> Self {
+        Instr::Store { pages: vec![page] }
+    }
+
+    /// The pages this instruction touches (empty for `Delay`).
+    pub fn pages(&self) -> &[PageNum] {
+        match self {
+            Instr::Load { pages } | Instr::Store { pages } | Instr::Prefetch { pages } => pages,
+            Instr::Delay(_) => &[],
+        }
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+}
+
+/// The full instruction stream of one warp.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarpProgram {
+    /// Instructions in issue order.
+    pub instrs: Vec<Instr>,
+}
+
+impl WarpProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an instruction (builder style).
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Total number of page touches across all instructions.
+    pub fn total_accesses(&self) -> usize {
+        self.instrs.iter().map(|i| i.pages().len()).sum()
+    }
+
+    /// The set of distinct pages the program touches, sorted.
+    pub fn touched_pages(&self) -> Vec<PageNum> {
+        let mut pages: Vec<PageNum> =
+            self.instrs.iter().flat_map(|i| i.pages().iter().copied()).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let mut p = WarpProgram::new();
+        p.push(Instr::load1(PageNum(1)))
+            .push(Instr::load1(PageNum(2)))
+            .push(Instr::store1(PageNum(3)))
+            .push(Instr::Delay(SimDuration::from_nanos(10)));
+        assert_eq!(p.total_accesses(), 3);
+        assert_eq!(
+            p.touched_pages(),
+            vec![PageNum(1), PageNum(2), PageNum(3)]
+        );
+        assert!(p.instrs[2].is_store());
+        assert!(!p.instrs[0].is_store());
+        assert!(p.instrs[3].pages().is_empty());
+    }
+
+    #[test]
+    fn touched_pages_dedups() {
+        let mut p = WarpProgram::new();
+        p.push(Instr::load1(PageNum(5))).push(Instr::store1(PageNum(5)));
+        assert_eq!(p.touched_pages(), vec![PageNum(5)]);
+        assert_eq!(p.total_accesses(), 2);
+    }
+}

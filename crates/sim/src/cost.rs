@@ -1,0 +1,295 @@
+//! Analytic cost model.
+//!
+//! The simulator *counts* work (faults fetched, pages migrated, PTEs torn
+//! down, radix-tree nodes allocated, IPIs sent) and the [`CostModel`] converts
+//! those counts into simulated time. Keeping every constant in one struct
+//! makes the calibration auditable and lets benchmarks sweep individual
+//! costs (e.g. "what if the interconnect were 4× faster?") as ablations.
+//!
+//! The [`CostModel::titan_v`] preset is calibrated against the magnitudes
+//! reported by Allen & Ge (SC '21) for a Titan V + PCIe 3.0 x16 + AMD Epyc
+//! 7551P testbed: batch service times in the 10 µs – 10 ms range, data
+//! transfer under 25 % of batch time, `unmap_mapping_range` and DMA-map
+//! setup as the dominant management costs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// All tunable cost constants, grouped by subsystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    // ---- GPU fault generation ----
+    /// Issue-to-issue latency between consecutive warp instructions.
+    pub warp_instr_latency: SimDuration,
+    /// Time for a fault to propagate from a μTLB to the GPU fault buffer.
+    pub fault_insert_latency: SimDuration,
+    /// Minimum spacing between consecutive fault-buffer insertions from the
+    /// same μTLB (serialization at the GMMU write port).
+    pub fault_insert_gap: SimDuration,
+    /// Host-to-GPU latency of a fault replay (push-buffer method invocation
+    /// plus μTLB wake).
+    pub replay_latency: SimDuration,
+    /// Maximum per-warp spread in replay wake-up (μTLB replay processing
+    /// and warp re-scheduling are not instantaneous; warps resume staggered
+    /// over this window, desynchronizing fault generation the way real
+    /// hardware does).
+    pub replay_wake_spread: SimDuration,
+
+    // ---- Interrupt and worker wake ----
+    /// GPU-to-host interrupt delivery latency.
+    pub interrupt_latency: SimDuration,
+    /// Time for a sleeping UVM worker thread to wake and reach the fault
+    /// servicing loop after the interrupt.
+    pub worker_wake_latency: SimDuration,
+
+    // ---- Driver batch processing ----
+    /// Per-fault cost of fetching an entry from the GPU fault buffer into the
+    /// host-side cache (PCIe read of the fault record).
+    pub fetch_per_fault: SimDuration,
+    /// Per-fault cost of preprocessing: parsing, sorting into VABlock order,
+    /// duplicate detection.
+    pub preprocess_per_fault: SimDuration,
+    /// Fixed cost per batch (locking, bookkeeping, replay issue, buffer
+    /// flush).
+    pub per_batch_fixed: SimDuration,
+    /// Fixed cost per distinct VABlock serviced in a batch (block lookup,
+    /// state machine entry/exit, per-block locking).
+    pub per_vablock_fixed: SimDuration,
+    /// Per-page cost of GPU page-table updates (PTE writes + TLB
+    /// invalidates pushed through the push-buffer).
+    pub pte_update_per_page: SimDuration,
+    /// Per-page cost of population (zero-fill of freshly allocated GPU
+    /// pages before migration).
+    pub populate_per_page: SimDuration,
+
+    // ---- DMA mapping setup (first GPU touch of a VABlock) ----
+    /// Per-page cost of creating a host DMA mapping (IOMMU programming).
+    pub dma_map_per_page: SimDuration,
+    /// Cost of allocating one radix-tree node while storing reverse DMA
+    /// mappings.
+    pub radix_node_alloc: SimDuration,
+    /// Per-insert base cost of the reverse-mapping radix tree.
+    pub radix_insert: SimDuration,
+    /// Probability that a DMA-setup episode hits the slow path (allocator
+    /// pressure / tree growth), multiplying its cost by up to
+    /// `dma_tail_max_factor`.
+    pub dma_tail_prob: f64,
+    /// Maximum heavy-tail multiplier for a slow DMA-setup episode.
+    pub dma_tail_max_factor: f64,
+
+    // ---- Host OS: unmap_mapping_range ----
+    /// Base per-page cost of unmapping a CPU-resident page (PTE clear, rmap
+    /// walk, dirty-page handling).
+    pub unmap_per_page: SimDuration,
+    /// Additional fraction of `unmap_per_page` added per *extra* CPU core
+    /// that has the page mapped (cache-line bouncing, per-core PTE state).
+    pub unmap_extra_mapper_factor: f64,
+    /// Cost of one TLB-shootdown IPI round to one target core.
+    pub tlb_shootdown_ipi: SimDuration,
+    /// Fixed cost of entering `unmap_mapping_range` for a VABlock.
+    pub unmap_fixed: SimDuration,
+
+    // ---- Data movement ----
+    /// Host-to-device bandwidth in bytes per simulated second.
+    pub h2d_bandwidth: f64,
+    /// Device-to-host bandwidth in bytes per simulated second.
+    pub d2h_bandwidth: f64,
+    /// Fixed latency of one copy-engine operation (descriptor setup + DMA
+    /// launch + completion interrupt).
+    pub copy_latency: SimDuration,
+
+    // ---- Eviction ----
+    /// Cost of a failed GPU memory allocation attempt (discovering the need
+    /// to evict).
+    pub alloc_fail: SimDuration,
+    /// Fixed cost of evicting one VABlock (choosing the victim, state
+    /// transitions), excluding the data transfer itself.
+    pub evict_fixed: SimDuration,
+    /// Cost of restarting a block's servicing step after an eviction.
+    pub service_restart: SimDuration,
+
+    // ---- Variance ----
+    /// Multiplicative jitter spread applied to each batch's management time,
+    /// reproducing scheduling noise on the host.
+    pub service_jitter: f64,
+}
+
+impl CostModel {
+    /// Calibration preset for the paper's testbed (Titan V, PCIe 3.0 x16,
+    /// AMD Epyc 7551P, Fedora 33).
+    pub fn titan_v() -> Self {
+        CostModel {
+            warp_instr_latency: SimDuration::from_nanos(8),
+            fault_insert_latency: SimDuration::from_nanos(700),
+            fault_insert_gap: SimDuration::from_nanos(60),
+            replay_latency: SimDuration::from_micros(5),
+            replay_wake_spread: SimDuration::from_micros(3),
+
+            interrupt_latency: SimDuration::from_micros(3),
+            worker_wake_latency: SimDuration::from_micros(6),
+
+            // Cached BAR reads of fault entries are faster than the GMMU's
+            // insertion gap (60 ns), so the driver's read loop always
+            // catches up and the batch is bounded by the accumulation
+            // window, not by racing the writer.
+            fetch_per_fault: SimDuration::from_nanos(50),
+            preprocess_per_fault: SimDuration::from_nanos(120),
+            per_batch_fixed: SimDuration::from_micros(14),
+            per_vablock_fixed: SimDuration::from_micros(16),
+            pte_update_per_page: SimDuration::from_nanos(180),
+            populate_per_page: SimDuration::from_nanos(380),
+
+            dma_map_per_page: SimDuration::from_nanos(420),
+            radix_node_alloc: SimDuration::from_nanos(900),
+            radix_insert: SimDuration::from_nanos(90),
+            dma_tail_prob: 0.06,
+            dma_tail_max_factor: 14.0,
+
+            unmap_per_page: SimDuration::from_nanos(650),
+            unmap_extra_mapper_factor: 0.09,
+            tlb_shootdown_ipi: SimDuration::from_micros(2),
+            unmap_fixed: SimDuration::from_micros(4),
+
+            h2d_bandwidth: 12.0e9,
+            d2h_bandwidth: 12.0e9,
+            copy_latency: SimDuration::from_micros(8),
+
+            alloc_fail: SimDuration::from_micros(5),
+            evict_fixed: SimDuration::from_micros(28),
+            service_restart: SimDuration::from_micros(9),
+
+            service_jitter: 0.18,
+        }
+    }
+
+    /// Host-to-device transfer time for `bytes` in one copy-engine operation.
+    pub fn h2d_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.copy_latency + SimDuration::from_secs_f64(bytes as f64 / self.h2d_bandwidth)
+    }
+
+    /// Device-to-host transfer time for `bytes` in one copy-engine operation.
+    pub fn d2h_time(&self, bytes: u64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.copy_latency + SimDuration::from_secs_f64(bytes as f64 / self.d2h_bandwidth)
+    }
+
+    /// Cost of unmapping `pages` CPU-resident pages that are mapped by
+    /// `mapper_cores` distinct CPU cores (at least 1), including the TLB
+    /// shootdown round. This is the model of `unmap_mapping_range()`:
+    /// per-page work inflated by cross-core mapping state, plus one IPI per
+    /// core that has live TLB entries.
+    pub fn unmap_time(&self, pages: u64, mapper_cores: u32) -> SimDuration {
+        if pages == 0 {
+            return SimDuration::ZERO;
+        }
+        let mapper_cores = mapper_cores.max(1);
+        let per_page = self
+            .unmap_per_page
+            .mul_f64(1.0 + self.unmap_extra_mapper_factor * (mapper_cores - 1) as f64);
+        self.unmap_fixed + per_page * pages + self.tlb_shootdown_ipi * mapper_cores as u64
+    }
+
+    /// Cost of populating (zero-filling) `pages` freshly allocated GPU pages.
+    pub fn populate_time(&self, pages: u64) -> SimDuration {
+        self.populate_per_page * pages
+    }
+
+    /// Cost of GPU page-table updates for `pages` pages.
+    pub fn pte_time(&self, pages: u64) -> SimDuration {
+        self.pte_update_per_page * pages
+    }
+
+    /// Cost of creating DMA mappings for `pages` pages whose reverse-mapping
+    /// inserts allocated `radix_nodes` new radix-tree nodes.
+    pub fn dma_setup_time(&self, pages: u64, radix_nodes: u64) -> SimDuration {
+        self.dma_map_per_page * pages
+            + self.radix_insert * pages
+            + self.radix_node_alloc * radix_nodes
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::titan_v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let cm = CostModel::titan_v();
+        let one_mb = cm.h2d_time(1 << 20);
+        let two_mb = cm.h2d_time(2 << 20);
+        // Doubling bytes should roughly double the bandwidth-bound part.
+        let bw_1 = one_mb - cm.copy_latency;
+        let bw_2 = two_mb - cm.copy_latency;
+        assert!(bw_2.as_nanos() >= 2 * bw_1.as_nanos() - 2);
+        assert!(bw_2.as_nanos() <= 2 * bw_1.as_nanos() + 2);
+        // 1 MiB at 12 GB/s is ~87 µs.
+        assert!(bw_1 > SimDuration::from_micros(80), "{bw_1}");
+        assert!(bw_1 < SimDuration::from_micros(95), "{bw_1}");
+    }
+
+    #[test]
+    fn zero_bytes_costs_nothing() {
+        let cm = CostModel::titan_v();
+        assert_eq!(cm.h2d_time(0), SimDuration::ZERO);
+        assert_eq!(cm.d2h_time(0), SimDuration::ZERO);
+        assert_eq!(cm.unmap_time(0, 8), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unmap_cost_grows_with_mapper_cores() {
+        let cm = CostModel::titan_v();
+        let single = cm.unmap_time(512, 1);
+        let multi = cm.unmap_time(512, 32);
+        assert!(multi > single * 2, "32-core unmap should be >2x 1-core: {single} vs {multi}");
+        assert!(multi < single * 8, "but not absurdly larger: {single} vs {multi}");
+    }
+
+    #[test]
+    fn unmap_clamps_mapper_cores_to_one() {
+        let cm = CostModel::titan_v();
+        assert_eq!(cm.unmap_time(16, 0), cm.unmap_time(16, 1));
+    }
+
+    #[test]
+    fn dma_setup_accounts_nodes_and_pages() {
+        let cm = CostModel::titan_v();
+        let no_nodes = cm.dma_setup_time(512, 0);
+        let with_nodes = cm.dma_setup_time(512, 10);
+        assert_eq!(with_nodes - no_nodes, cm.radix_node_alloc * 10);
+    }
+
+    #[test]
+    fn titan_v_magnitudes_are_sane() {
+        let cm = CostModel::titan_v();
+        // Full-VABlock unmap (512 pages, single core) should sit in the
+        // hundreds of microseconds, comparable to a 2 MiB transfer — the
+        // regime where unmap is a "significant portion" of batch time.
+        let unmap = cm.unmap_time(512, 1);
+        assert!(unmap > SimDuration::from_micros(150), "{unmap}");
+        assert!(unmap < SimDuration::from_millis(2), "{unmap}");
+        // DMA setup of a full block likewise.
+        let dma = cm.dma_setup_time(512, 12);
+        assert!(dma > SimDuration::from_micros(150), "{dma}");
+        assert!(dma < SimDuration::from_millis(2), "{dma}");
+    }
+
+    #[test]
+    fn cost_model_serde_round_trip() {
+        let cm = CostModel::titan_v();
+        let json = serde_json::to_string(&cm).unwrap();
+        let back: CostModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(cm, back);
+    }
+}

@@ -1,0 +1,172 @@
+//! Deterministic random source.
+//!
+//! All stochastic elements of the simulation (service-time jitter, spurious
+//! μTLB wake-ups, random-access workloads) draw from a [`DetRng`] derived
+//! from the experiment seed, so a run is a pure function of its
+//! configuration.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seeded random source with simulation-oriented helpers.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream. Used to give each subsystem its
+    /// own stream so adding draws in one subsystem does not perturb another.
+    pub fn fork(&mut self, salt: u64) -> DetRng {
+        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::new(seed)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Multiplicative jitter: a factor uniform in `[1 - spread, 1 + spread]`.
+    ///
+    /// Applied to cost-model durations to reproduce the run-to-run variance
+    /// the paper's batch scatter plots show without destroying determinism.
+    #[inline]
+    pub fn jitter_factor(&mut self, spread: f64) -> f64 {
+        1.0 + (self.inner.gen::<f64>() * 2.0 - 1.0) * spread
+    }
+
+    /// Apply multiplicative jitter to a duration.
+    #[inline]
+    pub fn jitter(&mut self, d: SimDuration, spread: f64) -> SimDuration {
+        d.mul_f64(self.jitter_factor(spread))
+    }
+
+    /// A heavy-tailed (bounded Pareto-like) factor `>= 1`, occasionally much
+    /// larger. Models intermittent high-cost kernel operations such as
+    /// radix-tree growth: most draws are ~1, a small fraction are up to
+    /// `max_factor`.
+    pub fn heavy_tail(&mut self, tail_prob: f64, max_factor: f64) -> f64 {
+        if self.chance(tail_prob) {
+            // Uniform in log-space between 2x and max_factor.
+            let lo = 2.0f64.ln();
+            let hi = max_factor.max(2.0).ln();
+            (lo + self.unit() * (hi - lo)).exp()
+        } else {
+            1.0
+        }
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        if xs.len() < 2 {
+            return;
+        }
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        assert!(same < 4, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_later_draws() {
+        let mut a = DetRng::new(7);
+        let mut fork1 = a.fork(1);
+        let v1: Vec<u64> = (0..10).map(|_| fork1.below(1000)).collect();
+
+        let mut b = DetRng::new(7);
+        let mut fork2 = b.fork(1);
+        // Drawing extra values from the parent after forking must not change
+        // the child's stream.
+        let _ = b.below(10);
+        let v2: Vec<u64> = (0..10).map(|_| fork2.below(1000)).collect();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn below_zero_is_zero() {
+        let mut r = DetRng::new(3);
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn jitter_stays_within_spread() {
+        let mut r = DetRng::new(9);
+        let d = SimDuration::from_micros(100);
+        for _ in 0..1000 {
+            let j = r.jitter(d, 0.25);
+            assert!(j >= SimDuration::from_micros(75), "{j:?}");
+            assert!(j <= SimDuration::from_micros(125), "{j:?}");
+        }
+    }
+
+    #[test]
+    fn heavy_tail_is_mostly_one() {
+        let mut r = DetRng::new(11);
+        let draws: Vec<f64> = (0..10_000).map(|_| r.heavy_tail(0.02, 50.0)).collect();
+        let ones = draws.iter().filter(|&&f| f == 1.0).count();
+        let tail = draws.iter().filter(|&&f| f > 1.0).count();
+        assert!(ones > 9_500, "expected mostly unit draws, got {ones}");
+        assert!(tail > 100, "expected some tail draws, got {tail}");
+        assert!(draws.iter().all(|&f| f <= 50.0 + 1e-9));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::new(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+}

@@ -1,0 +1,123 @@
+//! Descriptive statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (interpolated).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Compute a summary. Returns a zeroed summary for an empty sample.
+    pub fn of(values: &[f64]) -> Summary {
+        let n = values.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        }
+    }
+
+    /// Convenience: summary over an iterator of integers.
+    pub fn of_ints<I: IntoIterator<Item = u64>>(values: I) -> Summary {
+        let v: Vec<f64> = values.into_iter().map(|x| x as f64).collect();
+        Summary::of(&v)
+    }
+}
+
+/// The `p`-th percentile (0–100) of a sample, with linear interpolation.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    percentile_sorted(&sorted, p)
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.5);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn of_ints_converts() {
+        let s = Summary::of_ints([1u64, 2, 3]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+}

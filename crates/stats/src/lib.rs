@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # uvm-stats — analysis utilities for experiment output
+//!
+//! The paper reports its findings as descriptive statistics (Tables 2–4),
+//! linear best fits (Fig. 6), and binned scatter/time series (most other
+//! figures). This crate provides those primitives:
+//!
+//! * [`descriptive`] — [`Summary`]: mean, standard deviation, min/max,
+//!   median, percentiles.
+//! * [`regression`] — least-squares [`LinearFit`] with r².
+//! * [`histogram`] — fixed-width [`Histogram`] bucketing.
+//! * [`series`] — time-series binning and downsampling for figure data.
+//! * [`plot`] — terminal scatter plots ([`ScatterPlot`]) for figure shapes.
+//! * [`table`] — fixed-width text table rendering in the paper's style.
+
+pub mod descriptive;
+pub mod histogram;
+pub mod plot;
+pub mod regression;
+pub mod series;
+pub mod table;
+
+pub use descriptive::{percentile, Summary};
+pub use histogram::Histogram;
+pub use plot::ScatterPlot;
+pub use regression::{linear_fit, LinearFit};
+pub use series::bin_series;
+pub use table::Table;

@@ -1,0 +1,176 @@
+//! Terminal scatter / time-series plots.
+//!
+//! The paper's evaluation is mostly scatter plots (batch time vs migrated
+//! bytes, batch size over time). [`ScatterPlot`] renders `(x, y)` point
+//! sets — optionally in multiple series — onto a character grid so the
+//! regeneration harness can show the figure shapes directly in the
+//! terminal, alongside the JSON dumps meant for real plotting tools.
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+
+/// A multi-series scatter plot on a character canvas.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    log_y: bool,
+}
+
+impl ScatterPlot {
+    /// A plot with the given title and axis labels (default 72×20 canvas).
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        ScatterPlot {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            width: 72,
+            height: 20,
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Override the canvas size (columns × rows of the plotting area).
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        self.width = width.max(8);
+        self.height = height.max(4);
+        self
+    }
+
+    /// Use a logarithmic y axis (the paper's batch-time plots are
+    /// log-scale). Non-positive values are dropped.
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Add a named series of `(x, y)` points.
+    pub fn series(mut self, name: &str, points: Vec<(f64, f64)>) -> Self {
+        self.series.push((name.to_string(), points));
+        self
+    }
+
+    /// Render the plot to a string.
+    pub fn render(&self) -> String {
+        let y_map = |y: f64| if self.log_y { y.ln() } else { y };
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .filter(|&(_, y)| !self.log_y || y > 0.0)
+            .collect();
+        if all.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let x_min = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let x_max = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let y_min = all.iter().map(|p| y_map(p.1)).fold(f64::INFINITY, f64::min);
+        let y_max = all.iter().map(|p| y_map(p.1)).fold(f64::NEG_INFINITY, f64::max);
+        let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+        let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in pts {
+                if self.log_y && y <= 0.0 {
+                    continue;
+                }
+                let cx = (((x - x_min) / x_span) * (self.width - 1) as f64).round() as usize;
+                let cy = (((y_map(y) - y_min) / y_span) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                grid[row][cx.min(self.width - 1)] = glyph;
+            }
+        }
+
+        let y_hi = if self.log_y { y_max.exp() } else { y_max };
+        let y_lo = if self.log_y { y_min.exp() } else { y_min };
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (name, pts))| format!("{} {} ({})", GLYPHS[i % GLYPHS.len()], name, pts.len()))
+            .collect();
+        if self.series.len() > 1 || !legend.is_empty() {
+            out.push_str(&format!("  [{}]\n", legend.join("  ")));
+        }
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_hi:>9.3}")
+            } else if i == self.height - 1 {
+                format!("{y_lo:>9.3}")
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "{} +{}\n{:>9}  {:<width$.3}{:>rest$.3}\n",
+            " ".repeat(9),
+            "-".repeat(self.width),
+            self.y_label,
+            x_min,
+            x_max,
+            width = self.width / 2,
+            rest = self.width - self.width / 2,
+        ));
+        out.push_str(&format!("{:>width$}\n", self.x_label, width = 10 + self.width / 2));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_within_canvas() {
+        let p = ScatterPlot::new("test", "x", "y")
+            .size(40, 10)
+            .series("a", vec![(0.0, 0.0), (1.0, 1.0), (0.5, 0.5)]);
+        let s = p.render();
+        assert!(s.contains("test"));
+        assert_eq!(s.matches('*').count(), 3 + 1, "3 points plus legend glyph");
+        // 10 plot rows.
+        assert_eq!(s.lines().filter(|l| l.contains('|')).count(), 10);
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let p = ScatterPlot::new("t", "x", "y")
+            .series("a", vec![(0.0, 0.0)])
+            .series("b", vec![(1.0, 1.0)]);
+        let s = p.render();
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("a (1)") && s.contains("b (1)"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive() {
+        let p = ScatterPlot::new("t", "x", "y")
+            .log_y()
+            .series("a", vec![(0.0, 0.0), (1.0, 10.0), (2.0, 1000.0)]);
+        let s = p.render();
+        assert_eq!(s.matches('*').count(), 2 + 1, "zero-y point dropped");
+    }
+
+    #[test]
+    fn empty_plot_says_so() {
+        let p = ScatterPlot::new("t", "x", "y");
+        assert!(p.render().contains("no data"));
+    }
+
+    #[test]
+    fn identical_points_collapse_to_one_cell() {
+        let p = ScatterPlot::new("t", "x", "y").series("a", vec![(1.0, 1.0); 50]);
+        let s = p.render();
+        assert_eq!(s.matches('*').count(), 1 + 1);
+    }
+}

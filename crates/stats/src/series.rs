@@ -1,0 +1,92 @@
+//! Time-series binning.
+//!
+//! The paper's time-series figures (Figs. 8, 12–17) plot per-batch values
+//! over execution time. For reporting we bin `(t, y)` samples into
+//! equal-width time buckets and reduce each bucket (mean or max), which is
+//! also how the figure data files are generated.
+
+/// Reduction applied within each time bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinReduce {
+    /// Mean of the samples in the bin.
+    Mean,
+    /// Maximum sample in the bin.
+    Max,
+    /// Sum of the samples in the bin.
+    Sum,
+}
+
+/// Bin `(t, y)` samples into `bins` equal-width buckets over the observed
+/// time span, reducing each bucket. Empty buckets are omitted. Returns
+/// `(bin_center_t, reduced_y)` pairs in time order.
+pub fn bin_series(samples: &[(f64, f64)], bins: usize, reduce: BinReduce) -> Vec<(f64, f64)> {
+    if samples.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    let t_min = samples.iter().map(|&(t, _)| t).fold(f64::INFINITY, f64::min);
+    let t_max = samples.iter().map(|&(t, _)| t).fold(f64::NEG_INFINITY, f64::max);
+    if t_max <= t_min {
+        // All samples simultaneous: a single bin.
+        let ys: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
+        return vec![(t_min, reduce_vals(&ys, reduce))];
+    }
+    let width = (t_max - t_min) / bins as f64;
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); bins];
+    for &(t, y) in samples {
+        let idx = (((t - t_min) / width) as usize).min(bins - 1);
+        buckets[idx].push(y);
+    }
+    buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .map(|(i, b)| (t_min + (i as f64 + 0.5) * width, reduce_vals(b, reduce)))
+        .collect()
+}
+
+fn reduce_vals(vals: &[f64], reduce: BinReduce) -> f64 {
+    match reduce {
+        BinReduce::Mean => vals.iter().sum::<f64>() / vals.len() as f64,
+        BinReduce::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        BinReduce::Sum => vals.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_reduce_means() {
+        let samples = vec![(0.0, 1.0), (0.1, 3.0), (9.9, 10.0)];
+        let out = bin_series(&samples, 10, BinReduce::Mean);
+        assert_eq!(out.len(), 2);
+        assert!((out[0].1 - 2.0).abs() < 1e-12);
+        assert!((out[1].1 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_and_sum_reductions() {
+        let samples = vec![(0.0, 1.0), (0.1, 3.0), (0.2, 2.0)];
+        let max = bin_series(&samples, 1, BinReduce::Max);
+        assert_eq!(max[0].1, 3.0);
+        let sum = bin_series(&samples, 1, BinReduce::Sum);
+        assert_eq!(sum[0].1, 6.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(bin_series(&[], 5, BinReduce::Mean).is_empty());
+        assert!(bin_series(&[(1.0, 2.0)], 0, BinReduce::Mean).is_empty());
+        let single_t = bin_series(&[(5.0, 1.0), (5.0, 3.0)], 4, BinReduce::Mean);
+        assert_eq!(single_t, vec![(5.0, 2.0)]);
+    }
+
+    #[test]
+    fn last_sample_lands_in_last_bin() {
+        let samples = vec![(0.0, 1.0), (10.0, 2.0)];
+        let out = bin_series(&samples, 2, BinReduce::Mean);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].1, 2.0);
+    }
+}

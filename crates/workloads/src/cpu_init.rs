@@ -1,0 +1,148 @@
+//! Host-side initialization models.
+//!
+//! HPC codes initialize their data on the CPU before launching GPU kernels.
+//! *How* they do it — one thread or an OpenMP parallel loop — determines
+//! how many CPU cores end up as mappers of each page, which in turn
+//! determines the fault-path `unmap_mapping_range` cost (paper Fig. 11:
+//! default OpenMP threading roughly halves HPGMG's UVM performance).
+
+use uvm_sim::mem::{Allocation, PageNum};
+
+/// One CPU first-touch: `core` touched `page` (write = stores during init).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuTouch {
+    /// Touched page.
+    pub page: PageNum,
+    /// Touching CPU core.
+    pub core: u32,
+    /// Whether the touch dirtied the page.
+    pub write: bool,
+}
+
+/// How the host parallelizes initialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuInitPolicy {
+    /// One thread initializes everything (the paper's
+    /// `OMP_NUM_THREADS=1` configuration).
+    SingleThread,
+    /// `threads` threads, OpenMP `schedule(static)` with large contiguous
+    /// chunks: each VABlock mostly sees one mapper core.
+    Chunked {
+        /// Thread count.
+        threads: u32,
+    },
+    /// `threads` threads, fine-grained interleaving (e.g. OpenMP
+    /// `schedule(static, 1)` over rows smaller than a VABlock): every
+    /// VABlock sees many mapper cores. This is the configuration that
+    /// exaggerates unmap cost.
+    Striped {
+        /// Thread count.
+        threads: u32,
+    },
+}
+
+impl CpuInitPolicy {
+    /// Generate the touch sequence initializing every page of `alloc`.
+    pub fn touches(&self, alloc: &Allocation) -> Vec<CpuTouch> {
+        let n = alloc.num_pages();
+        match *self {
+            CpuInitPolicy::SingleThread => (0..n)
+                .map(|i| CpuTouch {
+                    page: alloc.page(i),
+                    core: 0,
+                    write: true,
+                })
+                .collect(),
+            CpuInitPolicy::Chunked { threads } => {
+                let threads = threads.max(1) as u64;
+                let chunk = n.div_ceil(threads);
+                (0..n)
+                    .map(|i| CpuTouch {
+                        page: alloc.page(i),
+                        core: (i / chunk).min(threads - 1) as u32,
+                        write: true,
+                    })
+                    .collect()
+            }
+            CpuInitPolicy::Striped { threads } => {
+                let threads = threads.max(1) as u64;
+                (0..n)
+                    .map(|i| CpuTouch {
+                        page: alloc.page(i),
+                        core: (i % threads) as u32,
+                        write: true,
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_sim::mem::{AddressSpaceAllocator, VABLOCK_SIZE};
+
+    fn alloc(blocks: u64) -> Allocation {
+        AddressSpaceAllocator::new().alloc(blocks * VABLOCK_SIZE)
+    }
+
+    fn cores_in_first_block(touches: &[CpuTouch]) -> std::collections::HashSet<u32> {
+        touches
+            .iter()
+            .filter(|t| t.page.va_block() == touches[0].page.va_block())
+            .map(|t| t.core)
+            .collect()
+    }
+
+    #[test]
+    fn single_thread_uses_core_zero() {
+        let a = alloc(2);
+        let touches = CpuInitPolicy::SingleThread.touches(&a);
+        assert_eq!(touches.len(), 1024);
+        assert!(touches.iter().all(|t| t.core == 0 && t.write));
+    }
+
+    #[test]
+    fn chunked_keeps_blocks_single_mapper() {
+        let a = alloc(8);
+        let touches = CpuInitPolicy::Chunked { threads: 4 }.touches(&a);
+        // 8 blocks / 4 threads = 2 blocks per thread: each block sees one
+        // core.
+        assert_eq!(cores_in_first_block(&touches).len(), 1);
+        let all_cores: std::collections::HashSet<u32> = touches.iter().map(|t| t.core).collect();
+        assert_eq!(all_cores.len(), 4);
+    }
+
+    #[test]
+    fn striped_spreads_mappers_across_each_block() {
+        let a = alloc(2);
+        let touches = CpuInitPolicy::Striped { threads: 32 }.touches(&a);
+        assert_eq!(cores_in_first_block(&touches).len(), 32);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let a = alloc(1);
+        let t1 = CpuInitPolicy::Striped { threads: 0 }.touches(&a);
+        assert!(t1.iter().all(|t| t.core == 0));
+        let t2 = CpuInitPolicy::Chunked { threads: 0 }.touches(&a);
+        assert!(t2.iter().all(|t| t.core == 0));
+    }
+
+    #[test]
+    fn every_page_touched_exactly_once() {
+        let a = alloc(3);
+        for policy in [
+            CpuInitPolicy::SingleThread,
+            CpuInitPolicy::Chunked { threads: 8 },
+            CpuInitPolicy::Striped { threads: 8 },
+        ] {
+            let touches = policy.touches(&a);
+            assert_eq!(touches.len() as u64, a.num_pages());
+            let distinct: std::collections::HashSet<_> =
+                touches.iter().map(|t| t.page).collect();
+            assert_eq!(distinct.len() as u64, a.num_pages());
+        }
+    }
+}

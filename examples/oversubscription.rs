@@ -1,0 +1,66 @@
+//! Oversubscription: run an iterated stream triad whose footprint exceeds
+//! device memory and watch LRU VABlock eviction, the eviction cost levels
+//! (Fig. 13), and the unmap/eviction interplay.
+//!
+//! ```text
+//! cargo run --release --example oversubscription
+//! ```
+
+use uvm_core::{SystemConfig, UvmSystem};
+use uvm_gpu::spec::GpuSpec;
+use uvm_workloads::cpu_init::CpuInitPolicy;
+use uvm_workloads::stream::{self, StreamParams};
+
+fn main() {
+    let workload = stream::build(StreamParams {
+        warps: 2048,
+        pages_per_warp: 1,
+        iters: 2,
+        warps_per_page: 1,
+        cpu_init: Some(CpuInitPolicy::SingleThread),
+    });
+    let footprint = workload.footprint_bytes();
+    // Device memory at 80% of the footprint: ~125% oversubscription.
+    let memory = footprint * 4 / 5;
+    println!(
+        "footprint {:.1} MiB, device memory {:.1} MiB ({:.0}% oversubscription)",
+        footprint as f64 / (1024.0 * 1024.0),
+        memory as f64 / (1024.0 * 1024.0),
+        footprint as f64 / memory as f64 * 100.0
+    );
+
+    let config = SystemConfig {
+        gpu: GpuSpec {
+            memory_bytes: memory,
+            ..GpuSpec::titan_v()
+        },
+        ..SystemConfig::titan_v()
+    };
+    let result = UvmSystem::new(config).run(&workload);
+
+    println!("\nkernel time  {}", result.kernel_time);
+    println!("evictions    {}", result.evictions);
+    println!("unmap calls  {}", result.unmap_calls);
+
+    let evicting: Vec<_> = result.records.iter().filter(|r| r.evictions > 0).collect();
+    let (upper, lower): (Vec<_>, Vec<_>) =
+        evicting.iter().partition(|r| r.t_unmap.as_nanos() > 0);
+    let mean_ms = |rs: &[&&uvm_driver::BatchRecord]| {
+        if rs.is_empty() {
+            0.0
+        } else {
+            rs.iter().map(|r| r.service_time().as_nanos() as f64).sum::<f64>() / rs.len() as f64 / 1e6
+        }
+    };
+    println!("\nFig. 13's eviction cost levels:");
+    println!(
+        "  upper level (first touch: eviction + CPU unmap): {:>4} batches, mean {:.3} ms",
+        upper.len(),
+        mean_ms(&upper)
+    );
+    println!(
+        "  lower level (re-migration of evicted blocks):    {:>4} batches, mean {:.3} ms",
+        lower.len(),
+        mean_ms(&lower)
+    );
+}

@@ -1,0 +1,304 @@
+//! Property-based tests on the core data structures and invariants,
+//! checked against reference models.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+use uvm_core::{SystemConfig, UvmSystem};
+use uvm_driver::bitmap::PageBitmap;
+use uvm_driver::dedup::classify_duplicates;
+use uvm_driver::evict::{EvictOutcome, GpuMemoryManager};
+use uvm_driver::prefetch::compute_prefetch;
+use uvm_gpu::fault::{AccessKind, FaultRecord};
+use uvm_hostos::page_table::{PageTable, PteFlags};
+use uvm_hostos::radix_tree::RadixTree;
+use uvm_sim::event::EventQueue;
+use uvm_sim::mem::{PageNum, VaBlockId};
+use uvm_sim::time::SimTime;
+use uvm_workloads::cpu_init::CpuInitPolicy;
+use uvm_workloads::stream::{self, StreamParams};
+
+proptest! {
+    /// The radix tree behaves exactly like a BTreeMap under arbitrary
+    /// insert/remove/get sequences, and its node accounting stays balanced.
+    #[test]
+    fn radix_tree_matches_model(ops in vec((0u8..3, 0u64..1 << 20, any::<u32>()), 1..300)) {
+        let mut tree: RadixTree<u32> = RadixTree::new();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    let report = tree.insert(key, value);
+                    let existed = model.insert(key, value).is_some();
+                    prop_assert_eq!(report.replaced, existed);
+                }
+                1 => {
+                    prop_assert_eq!(tree.remove(key), model.remove(&key));
+                }
+                _ => {
+                    prop_assert_eq!(tree.get(key), model.get(&key));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+            let s = tree.stats();
+            prop_assert_eq!(s.total_allocs - s.total_frees, s.nodes);
+        }
+        let got: Vec<(u64, u32)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(u64, u32)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// PageBitmap agrees with a BTreeSet model for all operations.
+    #[test]
+    fn page_bitmap_matches_model(indices in vec(0usize..512, 0..200), other in vec(0usize..512, 0..200)) {
+        let bm: PageBitmap = indices.iter().copied().collect();
+        let set: BTreeSet<usize> = indices.iter().copied().collect();
+        let bm2: PageBitmap = other.iter().copied().collect();
+        let set2: BTreeSet<usize> = other.iter().copied().collect();
+
+        prop_assert_eq!(bm.count() as usize, set.len());
+        prop_assert_eq!(bm.iter_set().collect::<Vec<_>>(), set.iter().copied().collect::<Vec<_>>());
+        for i in 0..512 {
+            prop_assert_eq!(bm.get(i), set.contains(&i));
+        }
+        let or: BTreeSet<usize> = set.union(&set2).copied().collect();
+        prop_assert_eq!(bm.or(&bm2).iter_set().collect::<Vec<_>>(), or.into_iter().collect::<Vec<_>>());
+        let and: BTreeSet<usize> = set.intersection(&set2).copied().collect();
+        prop_assert_eq!(bm.and(&bm2).iter_set().collect::<Vec<_>>(), and.into_iter().collect::<Vec<_>>());
+        let diff: BTreeSet<usize> = set.difference(&set2).copied().collect();
+        prop_assert_eq!(bm.and_not(&bm2).iter_set().collect::<Vec<_>>(), diff.into_iter().collect::<Vec<_>>());
+    }
+
+    /// The host page table agrees with a set model and its unmap work
+    /// counts are exact.
+    #[test]
+    fn page_table_matches_model(
+        pages in vec(0u64..4096, 1..200),
+        range in (0u64..4096, 1u64..512),
+    ) {
+        let mut pt = PageTable::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for &p in &pages {
+            pt.map(PageNum(p), PteFlags { dirty: p % 2 == 0, writable: true });
+            model.insert(p);
+        }
+        prop_assert_eq!(pt.mapped_pages(), model.len() as u64);
+
+        let (start, len) = range;
+        let end = start + len;
+        let expect_cleared = model.iter().filter(|&&p| p >= start && p < end).count() as u64;
+        let expect_dirty = model.iter().filter(|&&p| p >= start && p < end && p % 2 == 0).count() as u64;
+        let work = pt.unmap_range(PageNum(start), PageNum(end));
+        prop_assert_eq!(work.ptes_cleared, expect_cleared);
+        prop_assert_eq!(work.dirty_pages, expect_dirty);
+        model.retain(|&p| p < start || p >= end);
+        prop_assert_eq!(pt.mapped_pages(), model.len() as u64);
+        let listed: Vec<u64> = pt.mapped_in_range(PageNum(0), PageNum(4096)).iter().map(|p| p.0).collect();
+        prop_assert_eq!(listed, model.iter().copied().collect::<Vec<_>>());
+    }
+
+    /// Dedup: unique pages partition the batch; counts are exact; order is
+    /// first-arrival.
+    #[test]
+    fn dedup_partitions_batches(pages in vec((0u64..64, 0u32..8), 0..300)) {
+        let batch: Vec<FaultRecord> = pages
+            .iter()
+            .map(|&(p, u)| FaultRecord {
+                page: PageNum(p),
+                kind: AccessKind::Read,
+                sm: u * 2,
+                utlb: u,
+                warp: 0,
+                arrival: SimTime(0),
+                dup_of_outstanding: false,
+            })
+            .collect();
+        let result = classify_duplicates(&batch);
+        let distinct: BTreeSet<u64> = pages.iter().map(|&(p, _)| p).collect();
+        prop_assert_eq!(result.unique.len(), distinct.len());
+        prop_assert_eq!(
+            result.unique.len() as u64 + result.dup_same_utlb + result.dup_cross_utlb,
+            batch.len() as u64
+        );
+        // Representatives appear in first-arrival order.
+        let mut seen = BTreeSet::new();
+        let expected: Vec<u64> = pages
+            .iter()
+            .filter(|&&(p, _)| seen.insert(p))
+            .map(|&(p, _)| p)
+            .collect();
+        prop_assert_eq!(result.unique.iter().map(|f| f.page.0).collect::<Vec<_>>(), expected);
+    }
+
+    /// The prefetcher never returns already-occupied pages, stays within
+    /// the valid range, and is monotone in its inputs (more residency never
+    /// yields less total coverage).
+    #[test]
+    fn prefetch_invariants(
+        resident in vec(0usize..512, 0..256),
+        faulted in vec(0usize..512, 1..128),
+        valid in 64u32..=512,
+    ) {
+        let resident: PageBitmap = resident.into_iter().filter(|&i| (i as u32) < valid).collect();
+        let faulted: PageBitmap = faulted.into_iter().filter(|&i| (i as u32) < valid).collect();
+        let faulted = faulted.and_not(&resident);
+        let pf = compute_prefetch(&resident, &faulted, valid, 0.5);
+        // Never overlaps occupied pages.
+        prop_assert!(pf.and(&resident.or(&faulted)).is_empty());
+        // Stays within the valid range.
+        prop_assert!(pf.iter_set().all(|i| (i as u32) < valid));
+        // Adding residency never shrinks total coverage.
+        let mut more = resident;
+        more.set_range(0, 8.min(valid as usize));
+        let pf2 = compute_prefetch(&more, &faulted.and_not(&more), valid, 0.5);
+        let cover1 = pf.or(&resident).or(&faulted).count();
+        let cover2 = pf2.or(&more).or(&faulted.and_not(&more)).count();
+        prop_assert!(cover2 >= cover1, "coverage {cover2} < {cover1}");
+    }
+
+    /// LRU memory manager: capacity is never exceeded, victims are always
+    /// the least recently used, and eviction counts are exact.
+    #[test]
+    fn lru_manager_invariants(requests in vec(0u64..64, 1..300), capacity in 1u64..16) {
+        let mut mm = GpuMemoryManager::new(capacity);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new(); // block -> last seq
+        let mut evictions = 0u64;
+        for (seq, &b) in requests.iter().enumerate() {
+            let seq = seq as u64;
+            match mm.ensure_resident(VaBlockId(b), seq) {
+                EvictOutcome::AlreadyResident => {
+                    prop_assert!(model.contains_key(&b));
+                }
+                EvictOutcome::Allocated => {
+                    prop_assert!(!model.contains_key(&b));
+                    prop_assert!((model.len() as u64) < capacity);
+                }
+                EvictOutcome::Evicted(victims) => {
+                    prop_assert!(!model.contains_key(&b));
+                    prop_assert_eq!(model.len() as u64, capacity);
+                    for v in victims {
+                        // The victim must hold the minimal (seq, id) key.
+                        let min = model.iter().map(|(&id, &s)| (s, id)).min().unwrap();
+                        prop_assert_eq!((min.1, min.0), (v.0, model[&v.0]));
+                        model.remove(&v.0);
+                        evictions += 1;
+                    }
+                }
+            }
+            model.insert(b, seq);
+            prop_assert!(model.len() as u64 <= capacity);
+            prop_assert_eq!(mm.resident_blocks(), model.len() as u64);
+        }
+        prop_assert_eq!(mm.evictions(), evictions);
+    }
+
+    /// Event queue: pops are globally ordered by (time, insertion).
+    #[test]
+    fn event_queue_total_order(times in vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, id)) = q.pop() {
+            popped.push((at.as_nanos(), id));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+}
+
+proptest! {
+    /// GEMM tile page sets cover exactly the bytes the tile occupies: the
+    /// page of every element of the tile is present, and every listed page
+    /// intersects the tile's rows.
+    #[test]
+    fn gemm_tile_pages_cover_tile(
+        n_exp in 8u32..12,           // n in 256..4096
+        elem in prop_oneof![Just(4u64), Just(8u64)],
+        ti in 0u64..4,
+        tj in 0u64..4,
+    ) {
+        let n = 1u64 << n_exp;
+        let tile = n / 4;
+        let alloc = uvm_core::sim::mem::AddressSpaceAllocator::new().alloc(n * n * elem);
+        let pages = uvm_workloads::sgemm::tile_pages(&alloc, n, elem, ti * tile, tj * tile, tile);
+        prop_assert!(!pages.is_empty());
+        // Corners of the tile map into the set.
+        for (r, c) in [
+            (ti * tile, tj * tile),
+            (ti * tile, tj * tile + tile - 1),
+            (ti * tile + tile - 1, tj * tile),
+            (ti * tile + tile - 1, tj * tile + tile - 1),
+        ] {
+            let addr = uvm_core::sim::mem::VirtAddr(alloc.base.0 + (r * n + c) * elem);
+            prop_assert!(pages.contains(&addr.page()), "corner ({r},{c}) missing");
+        }
+        // Sorted and deduplicated.
+        for w in pages.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // All pages within the allocation.
+        for p in &pages {
+            prop_assert!(alloc.contains(p.base_addr()));
+        }
+    }
+
+    /// CPU-init policies always touch each page exactly once, whatever the
+    /// thread count.
+    #[test]
+    fn cpu_init_touches_each_page_once(blocks in 1u64..6, threads in 0u32..40, which in 0u8..3) {
+        let alloc = uvm_core::sim::mem::AddressSpaceAllocator::new()
+            .alloc(blocks * uvm_core::sim::mem::VABLOCK_SIZE);
+        let policy = match which {
+            0 => CpuInitPolicy::SingleThread,
+            1 => CpuInitPolicy::Chunked { threads },
+            _ => CpuInitPolicy::Striped { threads },
+        };
+        let touches = policy.touches(&alloc);
+        prop_assert_eq!(touches.len() as u64, alloc.num_pages());
+        let distinct: BTreeSet<_> = touches.iter().map(|t| t.page).collect();
+        prop_assert_eq!(distinct.len() as u64, alloc.num_pages());
+        for t in &touches {
+            prop_assert!(t.core < 128);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whole-system conservation under random small configurations: every
+    /// touched page ends up migrated (in-core), and the batch accounting
+    /// balances.
+    #[test]
+    fn system_page_conservation(
+        warps in 4u32..32,
+        ppw in 1u64..8,
+        share in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let w = stream::build(StreamParams {
+            warps,
+            pages_per_warp: ppw,
+            iters: 1,
+            warps_per_page: share,
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        let touched: BTreeSet<_> = w.programs.iter().flat_map(|p| p.touched_pages()).collect();
+        let result = UvmSystem::new(
+            SystemConfig::test_small(256 * 1024 * 1024).with_seed(seed),
+        )
+        .run(&w);
+        let migrated: u64 = result.records.iter().map(|r| r.pages_migrated).sum();
+        prop_assert_eq!(migrated, touched.len() as u64);
+        prop_assert!(result.total_batch_time <= result.kernel_time);
+        for r in &result.records {
+            prop_assert!(r.unique_pages <= r.raw_faults);
+            prop_assert_eq!(r.end - r.start, r.component_sum());
+        }
+    }
+}
