@@ -129,6 +129,11 @@ fn experiments() -> Vec<Experiment> {
             run: || exp(ext_hints::run, |r| r.render()),
         },
         Experiment {
+            id: "ext-inject",
+            title: "Extension — fault injection & typed error recovery",
+            run: || exp(ext_inject::run, |r| r.render()),
+        },
+        Experiment {
             id: "ext-thrashing",
             title: "Extension — thrashing mitigation (uvm_perf_thrashing)",
             run: || exp(ext_thrashing::run, |r| r.render()),

@@ -5,6 +5,7 @@ use uvm_driver::policy::DriverPolicy;
 use uvm_gpu::spec::GpuSpec;
 use uvm_hostos::numa::NumaTopology;
 use uvm_sim::cost::CostModel;
+use uvm_sim::inject::FaultPlan;
 
 /// Full configuration of one simulated system run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,6 +24,10 @@ pub struct SystemConfig {
     pub worker_core: u32,
     /// Seed for all stochastic elements.
     pub seed: u64,
+    /// Deterministic fault-injection plan (disabled by default). When any
+    /// point is enabled, the system wires seeded injectors into the fault
+    /// buffer, the DMA space, the host page tables, and the driver.
+    pub fault_plan: FaultPlan,
 }
 
 impl SystemConfig {
@@ -35,6 +40,7 @@ impl SystemConfig {
             numa: Some(NumaTopology::epyc_7551p()),
             worker_core: 0,
             seed: 0x5C21,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -49,6 +55,7 @@ impl SystemConfig {
             numa: None,
             worker_core: 0,
             seed: 0x5C21,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -61,6 +68,12 @@ impl SystemConfig {
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style fault-injection plan override.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -88,9 +101,21 @@ mod tests {
     fn builders() {
         let c = SystemConfig::test_small(1 << 22)
             .with_policy(DriverPolicy::with_prefetch())
-            .with_seed(7);
+            .with_seed(7)
+            .with_fault_plan(FaultPlan::uniform(0.1));
         assert!(c.policy.prefetch_enabled);
         assert_eq!(c.seed, 7);
+        assert!(c.fault_plan.is_enabled());
+    }
+
+    #[test]
+    fn fault_plan_defaults_to_disabled_and_round_trips() {
+        let c = SystemConfig::titan_v();
+        assert!(!c.fault_plan.is_enabled());
+        let c = c.with_fault_plan(FaultPlan::uniform(0.05));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! | [`table4_speedup`] | Table 4 — prefetch on/off batch & kernel times |
 
 pub mod ext_hints;
+pub mod ext_inject;
 pub mod ext_thrashing;
 pub mod fig01_latency;
 pub mod fig03_vecadd;

@@ -15,9 +15,10 @@ use crate::system::RunResult;
 pub const BATCH_CSV_HEADER: &str = "seq,start_ns,end_ns,service_ns,raw_faults,unique_pages,\
 dup_same_utlb,dup_cross_utlb,read_faults,write_faults,prefetch_faults,distinct_sms,\
 num_va_blocks,new_va_blocks,pages_migrated,bytes_migrated,prefetched_pages,evictions,\
-bytes_evicted,cpu_pages_unmapped,remote_mapped_pages,t_fetch_ns,t_preprocess_ns,\
+bytes_evicted,cpu_pages_unmapped,remote_mapped_pages,dropped_faults,injected_faults,\
+retries,degraded_blocks,t_fetch_ns,t_preprocess_ns,\
 t_dma_setup_ns,t_unmap_ns,t_populate_ns,t_transfer_ns,t_evict_ns,t_pte_ns,t_fixed_ns,\
-driver_prefetch_op";
+t_backoff_ns,driver_prefetch_op";
 
 /// Serialize every batch record of a run as CSV (with header).
 pub fn batch_records_csv(result: &RunResult) -> String {
@@ -27,7 +28,7 @@ pub fn batch_records_csv(result: &RunResult) -> String {
     for r in &result.records {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.seq,
             r.start.as_nanos(),
             r.end.as_nanos(),
@@ -49,6 +50,10 @@ pub fn batch_records_csv(result: &RunResult) -> String {
             r.bytes_evicted,
             r.cpu_pages_unmapped,
             r.remote_mapped_pages,
+            r.dropped_faults,
+            r.injected_faults,
+            r.retries,
+            r.degraded_blocks,
             r.t_fetch.as_nanos(),
             r.t_preprocess.as_nanos(),
             r.t_dma_setup.as_nanos(),
@@ -58,6 +63,7 @@ pub fn batch_records_csv(result: &RunResult) -> String {
             r.t_evict.as_nanos(),
             r.t_pte.as_nanos(),
             r.t_fixed.as_nanos(),
+            r.t_backoff.as_nanos(),
             r.driver_prefetch_op,
         );
     }
@@ -76,6 +82,16 @@ pub fn summarize(result: &RunResult) -> String {
     let _ = writeln!(out, "  flush drops        {}", result.flush_drops);
     let _ = writeln!(out, "  replays            {}", result.replays);
     let _ = writeln!(out, "  evictions          {}", result.evictions);
+    let injected: u64 = result.records.iter().map(|r| r.injected_faults).sum();
+    let retries: u64 = result.records.iter().map(|r| r.retries).sum();
+    let degraded: u64 = result.records.iter().map(|r| r.degraded_blocks).sum();
+    let dropped: u64 = result.records.iter().map(|r| r.dropped_faults).sum();
+    if injected + retries + degraded + dropped > 0 {
+        let _ = writeln!(
+            out,
+            "  injected faults    {injected} ({retries} retries, {degraded} degraded blocks, {dropped} dropped)"
+        );
+    }
     let _ = writeln!(
         out,
         "  bytes migrated     {:.2} MiB",
@@ -110,6 +126,10 @@ pub fn summarize(result: &RunResult) -> String {
         let _ = writeln!(out, "{}", component("evict", sum(|r| r.t_evict.as_nanos())));
         let _ = writeln!(out, "{}", component("pte", sum(|r| r.t_pte.as_nanos())));
         let _ = writeln!(out, "{}", component("fixed", sum(|r| r.t_fixed.as_nanos())));
+        let backoff = sum(|r| r.t_backoff.as_nanos());
+        if backoff > 0 {
+            let _ = writeln!(out, "{}", component("backoff", backoff));
+        }
     }
     out
 }

@@ -22,6 +22,8 @@ use serde::{Deserialize, Serialize};
 use uvm_driver::advise::MemAdvise;
 use uvm_driver::batch::{BatchRecord, FaultMeta};
 use uvm_driver::service::UvmDriver;
+use uvm_sim::error::UvmError;
+use uvm_sim::inject::{InjectionPoint, Injector};
 use uvm_sim::mem::Allocation;
 use uvm_gpu::device::{Gpu, StepOutcome};
 use uvm_hostos::host::HostMemory;
@@ -132,19 +134,29 @@ pub struct UvmSystem {
 }
 
 impl UvmSystem {
-    /// Assemble a system from a configuration.
+    /// Assemble a system from a configuration. When the config carries an
+    /// enabled fault plan, seeded injectors are wired into the subsystems
+    /// that own each injection point; a disabled plan wires nothing and
+    /// adds no cost or RNG draws.
     pub fn new(config: SystemConfig) -> Self {
-        let gpu = Gpu::new_seeded(config.gpu.clone(), config.cost.clone(), config.seed);
-        let driver = UvmDriver::new(
+        let mut gpu = Gpu::new_seeded(config.gpu.clone(), config.cost.clone(), config.seed);
+        let mut driver = UvmDriver::new(
             config.policy.clone(),
             config.cost.clone(),
             config.capacity_blocks(),
             config.seed,
         );
-        let host = match &config.numa {
+        let mut host = match &config.numa {
             Some(topo) => HostMemory::with_numa(topo.clone(), config.worker_core),
             None => HostMemory::new(),
         };
+        if config.fault_plan.is_enabled() {
+            let mut inj = Injector::new(&config.fault_plan, config.seed);
+            gpu.fault_buffer
+                .set_injector(inj.take(InjectionPoint::FaultBufferOverflow));
+            host.set_injector(inj.take(InjectionPoint::HostPopulateFailure));
+            driver.set_injectors(&mut inj);
+        }
         UvmSystem {
             config,
             gpu,
@@ -158,9 +170,17 @@ impl UvmSystem {
     /// # Panics
     ///
     /// Panics if the simulation exceeds its event budget (a hung workload —
-    /// always a bug, never an expected outcome).
+    /// always a bug, never an expected outcome), or if the servicing
+    /// pipeline fails unrecoverably (only possible with fault injection
+    /// enabled — use [`Self::try_run`] to handle that as a value).
     pub fn run(self, workload: &Workload) -> RunResult {
         self.run_with_hints(workload, &RunHints::default())
+    }
+
+    /// Like [`Self::run`], but an unrecoverable pipeline failure returns
+    /// the typed [`UvmError`] instead of panicking.
+    pub fn try_run(self, workload: &Workload) -> Result<RunResult, UvmError> {
+        self.try_run_with_hints(workload, &RunHints::default())
     }
 
     /// Run `workload` after applying memory-usage hints: `cudaMemAdvise`
@@ -168,7 +188,22 @@ impl UvmSystem {
     /// (whose driver operations appear in the records flagged
     /// `driver_prefetch_op`, and whose time delays the first kernel
     /// launch, as a synchronized prefetch would).
-    pub fn run_with_hints(mut self, workload: &Workload, hints: &RunHints) -> RunResult {
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::run`].
+    pub fn run_with_hints(self, workload: &Workload, hints: &RunHints) -> RunResult {
+        self.try_run_with_hints(workload, hints)
+            .unwrap_or_else(|e| panic!("UVM servicing pipeline failed unrecoverably: {e}"))
+    }
+
+    /// Like [`Self::run_with_hints`], but an unrecoverable pipeline
+    /// failure returns the typed [`UvmError`] instead of panicking.
+    pub fn try_run_with_hints(
+        mut self,
+        workload: &Workload,
+        hints: &RunHints,
+    ) -> Result<RunResult, UvmError> {
         // Register managed allocations, then replay CPU-side
         // initialization (first-touch mapping + host-data tracking).
         for alloc in &workload.allocations {
@@ -189,7 +224,7 @@ impl UvmSystem {
         // Explicit prefetches run (synchronously) before the first launch.
         let mut t0 = SimTime::ZERO;
         for alloc in &hints.prefetch {
-            t0 = self.driver.prefetch_async(alloc, &mut self.gpu, &mut self.host, t0);
+            t0 = self.driver.prefetch_async(alloc, &mut self.gpu, &mut self.host, t0)?;
         }
 
         // Kernels launch sequentially: each waits for the previous one to
@@ -200,7 +235,7 @@ impl UvmSystem {
             for wid in self.gpu.launch(workload.programs[range].to_vec()) {
                 queue.schedule(start, Event::WarpStep(wid));
             }
-            self.drain_events(&mut queue, &mut worker, &mut events);
+            self.drain_events(&mut queue, &mut worker, &mut events)?;
             kernel_spans.push((start, self.gpu.kernel_end));
         }
 
@@ -211,7 +246,7 @@ impl UvmSystem {
             self.gpu.num_warps()
         );
 
-        RunResult {
+        Ok(RunResult {
             workload: workload.name.clone(),
             kernel_time: self.gpu.kernel_end - SimTime::ZERO,
             total_batch_time: self.driver.total_batch_time(),
@@ -226,17 +261,18 @@ impl UvmSystem {
             fault_log: std::mem::take(&mut self.driver.fault_log),
             upfront_copy_time: SimDuration::ZERO,
             kernel_spans,
-        }
+        })
     }
 
     /// Process events until the system quiesces (all launched warps done,
-    /// no pending events).
+    /// no pending events). `Err` aborts the run with the servicing
+    /// pipeline's unrecoverable failure.
     fn drain_events(
         &mut self,
         queue: &mut EventQueue<Event>,
         worker: &mut Worker,
         events: &mut u64,
-    ) {
+    ) -> Result<(), UvmError> {
         while let Some((now, event)) = queue.pop() {
             *events += 1;
             assert!(
@@ -298,7 +334,7 @@ impl UvmSystem {
                     } else {
                         let rec =
                             self.driver
-                                .service_batch(&batch, &mut self.gpu, &mut self.host, now);
+                                .service_batch(&batch, &mut self.gpu, &mut self.host, now)?;
                         let end = rec.end;
                         *worker = Worker::Busy;
                         queue.schedule(end, Event::BatchDone);
@@ -321,6 +357,7 @@ impl UvmSystem {
                 }
             }
         }
+        Ok(())
     }
 
     /// The explicit-management baseline (Fig. 1's comparison point): the
@@ -654,6 +691,82 @@ mod tests {
             "cross-node mappers inflate unmap: {numa} <= {uniform}"
         );
         assert!((numa as f64) < uniform as f64 * 2.0, "bounded by the distance matrix");
+    }
+
+    #[test]
+    fn injected_run_recovers_and_is_seed_deterministic() {
+        use uvm_sim::inject::FaultPlan;
+        let mk_w = || {
+            stream::build(StreamParams {
+                warps: 32,
+                pages_per_warp: 16,
+                iters: 1,
+                warps_per_page: 1,
+                cpu_init: Some(CpuInitPolicy::SingleThread),
+            })
+        };
+        let mk_c = || {
+            SystemConfig::test_small(64 * MB)
+                .with_policy(DriverPolicy::default().audited(true))
+                .with_fault_plan(FaultPlan::uniform(0.05))
+        };
+        let r1 = UvmSystem::new(mk_c()).try_run(&mk_w()).unwrap();
+        let r2 = UvmSystem::new(mk_c()).try_run(&mk_w()).unwrap();
+        let injected: u64 = r1.records.iter().map(|r| r.injected_faults).sum();
+        let retries: u64 = r1.records.iter().map(|r| r.retries).sum();
+        assert!(injected > 0, "a 5% rate must fire across a whole run");
+        assert!(retries > 0, "transient failures must be retried");
+        // Every page still ends up served (migrated or remote) despite
+        // injection: the run completed, so all warps finished.
+        assert_eq!(
+            serde_json::to_string(&r1.records).unwrap(),
+            serde_json::to_string(&r2.records).unwrap(),
+            "same seed + same plan = byte-identical record streams"
+        );
+    }
+
+    #[test]
+    fn disabled_plan_matches_baseline_run_exactly() {
+        use uvm_sim::inject::FaultPlan;
+        let mk_w = || {
+            stream::build(StreamParams {
+                warps: 16,
+                pages_per_warp: 8,
+                iters: 1,
+                warps_per_page: 1,
+                cpu_init: Some(CpuInitPolicy::SingleThread),
+            })
+        };
+        let base = UvmSystem::new(SystemConfig::test_small(64 * MB)).run(&mk_w());
+        let off = UvmSystem::new(
+            SystemConfig::test_small(64 * MB).with_fault_plan(FaultPlan::none()),
+        )
+        .run(&mk_w());
+        assert_eq!(base.kernel_time, off.kernel_time);
+        assert_eq!(
+            serde_json::to_string(&base.records).unwrap(),
+            serde_json::to_string(&off.records).unwrap(),
+            "a disabled plan must not perturb the baseline"
+        );
+    }
+
+    #[test]
+    fn audited_baseline_run_passes_all_invariants() {
+        // The auditor runs after every batch and any violation would turn
+        // into an Err; a clean baseline run proves the pipeline keeps the
+        // four state holders consistent.
+        let w = stream::build(StreamParams {
+            warps: 32,
+            pages_per_warp: 64,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        });
+        // Oversubscribed so evictions are exercised too.
+        let config = SystemConfig::test_small(16 * MB)
+            .with_policy(DriverPolicy::default().audited(true));
+        let r = UvmSystem::new(config).try_run(&w).unwrap();
+        assert!(r.evictions > 0);
     }
 
     #[test]

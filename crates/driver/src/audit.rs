@@ -1,0 +1,257 @@
+//! Cross-layer invariant auditor.
+//!
+//! After every serviced batch (when `DriverPolicy::audit_enabled` is set)
+//! the auditor cross-checks the four state holders the servicing pipeline
+//! mutates — the driver's VABlock states, the GPU memory manager, the DMA
+//! space, and the host page tables — and reports any disagreement as a
+//! structured [`UvmError::InvariantViolation`]. The auditor is pure
+//! observation: it charges no simulated time and draws no random numbers,
+//! so enabling it cannot perturb an experiment's figures.
+//!
+//! Checked invariants, per managed VABlock:
+//!
+//! 1. `gpu_allocated` agrees with the GPU memory manager's resident set.
+//! 2. Every page the driver believes GPU-accessible (`gpu_resident` or
+//!    `remote_mapped`) is mapped in the GPU page table.
+//! 3. A page is never both migrated and remote-mapped.
+//! 4. A block with GPU-accessible pages holds DMA mappings for them.
+//! 5. Unless read-duplicated, no GPU-resident page is still CPU-mapped
+//!    (the fault path must have unmapped it).
+//! 6. No state bit exists beyond the block's valid page range.
+//!
+//! And globally:
+//!
+//! 7. The GPU page table holds exactly the pages the driver accounts for.
+
+use uvm_gpu::device::Gpu;
+use uvm_hostos::host::HostMemory;
+use uvm_sim::error::UvmError;
+
+use crate::service::UvmDriver;
+use crate::va_block::VaBlockState;
+
+/// Audit every invariant and return all violations found (empty when the
+/// system is consistent).
+pub fn violations(driver: &UvmDriver, gpu: &Gpu, host: &HostMemory) -> Vec<UvmError> {
+    let mut out = Vec::new();
+    let mut accounted_pages: u64 = 0;
+
+    for state in driver.va_space.blocks() {
+        let id = state.id;
+        let v = |subsystem: &'static str, detail: String| UvmError::InvariantViolation {
+            subsystem,
+            block: id.0,
+            detail,
+        };
+
+        // 1. Allocation agreement with the GPU memory manager.
+        if state.gpu_allocated != driver.memory().is_resident(id) {
+            out.push(v(
+                "gpu-mem",
+                format!(
+                    "driver gpu_allocated={} but memory manager resident={}",
+                    state.gpu_allocated,
+                    driver.memory().is_resident(id)
+                ),
+            ));
+        }
+
+        // 3. Migrated and remote-mapped are mutually exclusive.
+        let both = state.gpu_resident.and(&state.remote_mapped);
+        if !both.is_empty() {
+            out.push(v(
+                "va-block",
+                format!("{} pages both gpu_resident and remote_mapped", both.count()),
+            ));
+        }
+
+        // 6. No state beyond the valid page range.
+        for (name, bm) in [
+            ("gpu_resident", &state.gpu_resident),
+            ("remote_mapped", &state.remote_mapped),
+            ("host_data", &state.host_data),
+        ] {
+            if let Some(bad) = bm.iter_set().find(|&i| i as u32 >= state.valid_pages) {
+                out.push(v(
+                    "va-block",
+                    format!("{name} bit {bad} beyond valid_pages={}", state.valid_pages),
+                ));
+            }
+        }
+
+        let accessible = state.gpu_resident.or(&state.remote_mapped);
+        accounted_pages += accessible.count() as u64;
+
+        // 4. GPU-accessible pages require DMA mappings.
+        if !accessible.is_empty() && !state.dma_mapped {
+            out.push(v(
+                "dma",
+                format!("{} GPU-accessible pages but dma_mapped=false", accessible.count()),
+            ));
+        }
+
+        for i in accessible.iter_set() {
+            let page = id.page_at(i);
+            // 2. GPU page table agreement.
+            if !gpu.is_resident(page) {
+                out.push(v(
+                    "gpu-pt",
+                    format!("page {} driver-accessible but absent from GPU page table", page.0),
+                ));
+            }
+            // 4 (cont). Per-page DMA address exists.
+            if driver.dma_space().dma_of(page).is_none() {
+                out.push(v("dma", format!("page {} has no DMA mapping", page.0)));
+            }
+        }
+
+        // 5. Migration implies the CPU mapping was torn down.
+        out.extend(cpu_mapping_violations(state, host));
+    }
+
+    // 7. Global page accounting.
+    let gpu_pages = gpu.resident_pages() as u64;
+    if gpu_pages != accounted_pages {
+        out.push(UvmError::InvariantViolation {
+            subsystem: "gpu-pt",
+            block: u64::MAX,
+            detail: format!(
+                "GPU page table holds {gpu_pages} pages but driver accounts for {accounted_pages}"
+            ),
+        });
+    }
+
+    out
+}
+
+/// Invariant 5: unless read-duplicated, a GPU-resident page must not stay
+/// CPU-mapped.
+fn cpu_mapping_violations(state: &VaBlockState, host: &HostMemory) -> Vec<UvmError> {
+    if state.read_duplicated {
+        return Vec::new();
+    }
+    state
+        .gpu_resident
+        .iter_set()
+        .filter(|&i| host.is_cpu_mapped(state.id.page_at(i)))
+        .map(|i| UvmError::InvariantViolation {
+            subsystem: "host-pt",
+            block: state.id.0,
+            detail: format!(
+                "page {} migrated to GPU but still CPU-mapped",
+                state.id.page_at(i).0
+            ),
+        })
+        .collect()
+}
+
+/// Audit and fail fast: `Err` carries the first violation found.
+pub fn audit(driver: &UvmDriver, gpu: &Gpu, host: &HostMemory) -> Result<(), UvmError> {
+    match violations(driver, gpu, host).into_iter().next() {
+        None => Ok(()),
+        Some(v) => Err(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DriverPolicy;
+    use uvm_gpu::fault::{AccessKind, FaultRecord};
+    use uvm_gpu::spec::GpuSpec;
+    use uvm_sim::cost::CostModel;
+    use uvm_sim::mem::{AddressSpaceAllocator, VABLOCK_SIZE};
+    use uvm_sim::time::SimTime;
+
+    fn setup() -> (UvmDriver, Gpu, HostMemory) {
+        let cost = CostModel::titan_v();
+        let driver = UvmDriver::new(DriverPolicy::default().audited(true), cost.clone(), 16, 42);
+        let gpu = Gpu::new(GpuSpec::small(16 * VABLOCK_SIZE), cost);
+        (driver, gpu, HostMemory::new())
+    }
+
+    fn fault(page: uvm_sim::mem::PageNum) -> FaultRecord {
+        FaultRecord {
+            page,
+            kind: AccessKind::Read,
+            sm: 0,
+            utlb: 0,
+            warp: 0,
+            arrival: SimTime(0),
+            dup_of_outstanding: false,
+        }
+    }
+
+    #[test]
+    fn consistent_system_has_no_violations() {
+        let (mut driver, mut gpu, mut host) = setup();
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(2 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        for i in 0..600 {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+        let faults: Vec<_> = (0..100).map(|i| fault(alloc.page(i * 5))).collect();
+        // service_batch itself audits (policy.audited(true)) and would
+        // return Err on any violation.
+        driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
+        assert!(violations(&driver, &gpu, &host).is_empty());
+    }
+
+    #[test]
+    fn desynced_gpu_page_table_is_reported() {
+        let (mut driver, mut gpu, mut host) = setup();
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        driver
+            .service_batch(&[fault(alloc.page(0))], &mut gpu, &mut host, SimTime(0))
+            .unwrap();
+        // Corrupt: drop the page from the GPU page table behind the
+        // driver's back.
+        gpu.unmap_pages([alloc.page(0)]);
+        let vs = violations(&driver, &gpu, &host);
+        assert!(!vs.is_empty());
+        assert!(vs.iter().any(|e| matches!(
+            e,
+            UvmError::InvariantViolation { subsystem: "gpu-pt", .. }
+        )));
+        assert!(audit(&driver, &gpu, &host).is_err());
+    }
+
+    #[test]
+    fn desynced_memory_manager_is_reported() {
+        let (mut driver, mut gpu, mut host) = setup();
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        driver
+            .service_batch(&[fault(alloc.page(0))], &mut gpu, &mut host, SimTime(0))
+            .unwrap();
+        let id = alloc.va_blocks().next().unwrap();
+        driver.mem.release(id); // behind the driver's back
+        let vs = violations(&driver, &gpu, &host);
+        assert!(vs.iter().any(|e| matches!(
+            e,
+            UvmError::InvariantViolation { subsystem: "gpu-mem", .. }
+        )));
+    }
+
+    #[test]
+    fn lingering_cpu_mapping_is_reported() {
+        let (mut driver, mut gpu, mut host) = setup();
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        driver
+            .service_batch(&[fault(alloc.page(0))], &mut gpu, &mut host, SimTime(0))
+            .unwrap();
+        // Corrupt: CPU remaps a migrated page without the driver noticing.
+        host.cpu_touch(alloc.page(0), 0, true);
+        let vs = violations(&driver, &gpu, &host);
+        assert!(vs.iter().any(|e| matches!(
+            e,
+            UvmError::InvariantViolation { subsystem: "host-pt", .. }
+        )));
+    }
+}

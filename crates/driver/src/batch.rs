@@ -77,6 +77,19 @@ pub struct BatchRecord {
     /// extension in this batch.
     pub thrashing_pins: u64,
 
+    // ---- fault injection & recovery ----
+    /// Faults dropped by the hardware buffer (genuine overflow plus
+    /// injected overflow storms) since the previous batch was serviced.
+    pub dropped_faults: u64,
+    /// Injected failures the driver observed while servicing this batch
+    /// (DMA map, copy engine, host page table, fetch stall).
+    pub injected_faults: u64,
+    /// Retry attempts performed after transient failures.
+    pub retries: u64,
+    /// Blocks degraded to a remote (sysmem) mapping after migration
+    /// retries were exhausted.
+    pub degraded_blocks: u64,
+
     // ---- component times ----
     /// Fetching fault entries from the GPU buffer.
     pub t_fetch: SimDuration,
@@ -96,6 +109,8 @@ pub struct BatchRecord {
     pub t_pte: SimDuration,
     /// Fixed per-batch and per-VABlock management overhead (+ jitter).
     pub t_fixed: SimDuration,
+    /// Deterministic retry backoff after injected transient failures.
+    pub t_backoff: SimDuration,
 }
 
 impl BatchRecord {
@@ -151,6 +166,7 @@ impl BatchRecord {
             + self.t_evict
             + self.t_pte
             + self.t_fixed
+            + self.t_backoff
     }
 }
 
@@ -228,9 +244,10 @@ mod tests {
             t_evict: SimDuration(7),
             t_pte: SimDuration(8),
             t_fixed: SimDuration(9),
+            t_backoff: SimDuration(10),
             ..Default::default()
         };
-        assert_eq!(r.component_sum(), SimDuration(45));
+        assert_eq!(r.component_sum(), SimDuration(55));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use uvm_sim::error::UvmError;
 use uvm_sim::mem::VaBlockId;
 
 /// Outcome of a block-residency request.
@@ -75,32 +76,48 @@ impl GpuMemoryManager {
     /// Ensure `block` holds a GPU allocation, evicting LRU victims if the
     /// device is full. `seq` is the requesting batch's sequence number
     /// (becomes the block's LRU key).
-    pub fn ensure_resident(&mut self, block: VaBlockId, seq: u64) -> EvictOutcome {
+    ///
+    /// `Err` is returned only on a broken internal invariant (an empty
+    /// resident map while the device reports full) — a state the servicing
+    /// pipeline treats as a structured [`UvmError::InvariantViolation`]
+    /// rather than a panic.
+    pub fn ensure_resident(&mut self, block: VaBlockId, seq: u64) -> Result<EvictOutcome, UvmError> {
         if let Some(k) = self.resident.get_mut(&block) {
             *k = seq;
-            return EvictOutcome::AlreadyResident;
+            return Ok(EvictOutcome::AlreadyResident);
         }
         if (self.resident.len() as u64) < self.capacity_blocks {
             self.resident.insert(block, seq);
-            return EvictOutcome::Allocated;
+            return Ok(EvictOutcome::Allocated);
         }
         // Memory full: evict the least-recently-migrated block. One victim
         // frees exactly the one chunk we need, but we keep the loop for
         // robustness against future multi-chunk requests.
+        //
+        // The loop guard makes the `min_by_key` provably non-empty today
+        // (`len >= capacity` and the constructor asserts `capacity > 0`);
+        // the error path exists so a future capacity-0 or concurrent-release
+        // bug surfaces as a typed error instead of a panic.
         let mut victims = Vec::new();
         while (self.resident.len() as u64) >= self.capacity_blocks {
-            let victim = self
+            let Some(victim) = self
                 .resident
                 .iter()
                 .min_by_key(|(id, &k)| (k, id.0))
                 .map(|(&id, _)| id)
-                .expect("resident map non-empty when full");
+            else {
+                return Err(UvmError::InvariantViolation {
+                    subsystem: "gpu-mem",
+                    block: block.0,
+                    detail: "resident map empty while device reports full".into(),
+                });
+            };
             self.resident.remove(&victim);
             self.evictions += 1;
             victims.push(victim);
         }
         self.resident.insert(block, seq);
-        EvictOutcome::Evicted(victims)
+        Ok(EvictOutcome::Evicted(victims))
     }
 
     /// Release `block`'s allocation without counting an eviction (teardown).
@@ -116,12 +133,12 @@ mod tests {
     #[test]
     fn allocates_until_full_then_evicts_lru() {
         let mut mm = GpuMemoryManager::new(3);
-        assert_eq!(mm.ensure_resident(VaBlockId(1), 1), EvictOutcome::Allocated);
-        assert_eq!(mm.ensure_resident(VaBlockId(2), 2), EvictOutcome::Allocated);
-        assert_eq!(mm.ensure_resident(VaBlockId(3), 3), EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(1), 1).unwrap(), EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(2), 2).unwrap(), EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(3), 3).unwrap(), EvictOutcome::Allocated);
         // Full: block 1 is LRU.
         assert_eq!(
-            mm.ensure_resident(VaBlockId(4), 4),
+            mm.ensure_resident(VaBlockId(4), 4).unwrap(),
             EvictOutcome::Evicted(vec![VaBlockId(1)])
         );
         assert!(!mm.is_resident(VaBlockId(1)));
@@ -132,11 +149,11 @@ mod tests {
     #[test]
     fn touch_refreshes_lru_order() {
         let mut mm = GpuMemoryManager::new(2);
-        mm.ensure_resident(VaBlockId(1), 1);
-        mm.ensure_resident(VaBlockId(2), 2);
+        mm.ensure_resident(VaBlockId(1), 1).unwrap();
+        mm.ensure_resident(VaBlockId(2), 2).unwrap();
         mm.touch(VaBlockId(1), 3); // block 1 now most recent
         assert_eq!(
-            mm.ensure_resident(VaBlockId(3), 4),
+            mm.ensure_resident(VaBlockId(3), 4).unwrap(),
             EvictOutcome::Evicted(vec![VaBlockId(2)])
         );
     }
@@ -144,12 +161,12 @@ mod tests {
     #[test]
     fn already_resident_refreshes_key() {
         let mut mm = GpuMemoryManager::new(2);
-        mm.ensure_resident(VaBlockId(1), 1);
-        mm.ensure_resident(VaBlockId(2), 2);
-        assert_eq!(mm.ensure_resident(VaBlockId(1), 3), EvictOutcome::AlreadyResident);
+        mm.ensure_resident(VaBlockId(1), 1).unwrap();
+        mm.ensure_resident(VaBlockId(2), 2).unwrap();
+        assert_eq!(mm.ensure_resident(VaBlockId(1), 3).unwrap(), EvictOutcome::AlreadyResident);
         // Block 2 is now LRU.
         assert_eq!(
-            mm.ensure_resident(VaBlockId(9), 4),
+            mm.ensure_resident(VaBlockId(9), 4).unwrap(),
             EvictOutcome::Evicted(vec![VaBlockId(2)])
         );
     }
@@ -160,11 +177,11 @@ mod tests {
         // to allocation order.
         let mut mm = GpuMemoryManager::new(4);
         for i in 1..=4u64 {
-            mm.ensure_resident(VaBlockId(i), i);
+            mm.ensure_resident(VaBlockId(i), i).unwrap();
         }
         let mut evicted = Vec::new();
         for i in 5..=8u64 {
-            if let EvictOutcome::Evicted(v) = mm.ensure_resident(VaBlockId(i), i) {
+            if let EvictOutcome::Evicted(v) = mm.ensure_resident(VaBlockId(i), i).unwrap() {
                 evicted.extend(v);
             }
         }
@@ -177,11 +194,11 @@ mod tests {
     #[test]
     fn release_frees_without_counting_eviction() {
         let mut mm = GpuMemoryManager::new(1);
-        mm.ensure_resident(VaBlockId(1), 1);
+        mm.ensure_resident(VaBlockId(1), 1).unwrap();
         mm.release(VaBlockId(1));
         assert_eq!(mm.resident_blocks(), 0);
         assert_eq!(mm.evictions(), 0);
-        assert_eq!(mm.ensure_resident(VaBlockId(2), 2), EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(2), 2).unwrap(), EvictOutcome::Allocated);
     }
 
     #[test]

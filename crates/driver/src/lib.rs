@@ -26,9 +26,14 @@
 //! * [`service`] — [`UvmDriver`], the fault-servicing pipeline itself:
 //!   fetch → deduplicate → per-VABlock service (DMA setup, CPU unmap,
 //!   eviction, population, migration, page-table update, prefetch) →
-//!   flush → replay.
+//!   flush → replay. Fallible end to end: injected failures are retried
+//!   with deterministic backoff or degrade the block to a remote mapping.
+//! * [`audit`] — the cross-layer invariant auditor, cross-checking driver
+//!   state against the GPU page table, the memory manager, the DMA space,
+//!   and host page tables after every batch.
 
 pub mod advise;
+pub mod audit;
 pub mod batch;
 pub mod bitmap;
 pub mod dedup;

@@ -1,6 +1,7 @@
 //! Driver tunables.
 
 use serde::{Deserialize, Serialize};
+use uvm_sim::time::SimDuration;
 
 /// UVM driver policy knobs. Defaults match the stock `nvidia-uvm` driver
 /// configuration the paper studies.
@@ -38,6 +39,18 @@ pub struct DriverPolicy {
     pub thrashing_window: u64,
     /// How long (in batches) a thrashing block stays pinned host-side.
     pub thrashing_pin: u64,
+    /// Recovery: maximum retry attempts after a transient failure (DMA map,
+    /// copy-engine fault, host page-table populate, batch-fetch stall)
+    /// before the error escalates — to degradation for migration failures,
+    /// to a hard [`UvmError`](uvm_sim::error::UvmError) otherwise.
+    pub max_retries: u32,
+    /// Recovery: deterministic base backoff charged to the batch per retry;
+    /// attempt `n` (0-based) waits `retry_backoff << n`.
+    pub retry_backoff: SimDuration,
+    /// Run the cross-subsystem invariant audit (`uvm_driver::audit`) at the
+    /// end of every serviced batch. Off by default: the audit costs real
+    /// wall-clock time on large runs (it charges no *simulated* time).
+    pub audit_enabled: bool,
 }
 
 impl Default for DriverPolicy {
@@ -52,6 +65,9 @@ impl Default for DriverPolicy {
             thrashing_mitigation: false,
             thrashing_window: 16,
             thrashing_pin: 64,
+            max_retries: 3,
+            retry_backoff: SimDuration::from_micros(20),
+            audit_enabled: false,
         }
     }
 }
@@ -95,6 +111,24 @@ impl DriverPolicy {
         self.thrashing_mitigation = on;
         self
     }
+
+    /// Builder-style retry budget for transient-failure recovery.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Builder-style base backoff per retry attempt.
+    pub fn backoff(mut self, d: SimDuration) -> Self {
+        self.retry_backoff = d;
+        self
+    }
+
+    /// Builder-style per-batch invariant audit toggle.
+    pub fn audited(mut self, on: bool) -> Self {
+        self.audit_enabled = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +151,21 @@ mod tests {
         assert!(p.prefetch_enabled);
         assert_eq!(p.batch_limit, 1024);
         assert!(p.log_fault_metadata);
+    }
+
+    #[test]
+    fn recovery_defaults_and_builders() {
+        let p = DriverPolicy::default();
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.retry_backoff, SimDuration::from_micros(20));
+        assert!(!p.audit_enabled);
+
+        let p = DriverPolicy::default()
+            .retries(5)
+            .backoff(SimDuration::from_micros(7))
+            .audited(true);
+        assert_eq!(p.max_retries, 5);
+        assert_eq!(p.retry_backoff, SimDuration::from_micros(7));
+        assert!(p.audit_enabled);
     }
 }

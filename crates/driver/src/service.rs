@@ -8,6 +8,15 @@
 //! state transitions are applied to the GPU device model and the host OS
 //! substrate, and a [`BatchRecord`] capturing the component costs is
 //! appended to the driver's log.
+//!
+//! The pipeline is *fallible*: every stage that can fail in a real driver
+//! (DMA-map creation, the copy engine, host page-table operations, the
+//! batch fetch itself) returns a typed [`UvmError`], and
+//! [`UvmDriver::service_batch`] applies the recovery policy from
+//! [`DriverPolicy`] — bounded retry with deterministic exponential backoff
+//! for transient failures, and graceful degradation of a block to a remote
+//! (sysmem-mapped) state when migration keeps failing. Only unrecoverable
+//! failures propagate to the caller.
 
 use std::collections::{BTreeMap, HashSet};
 
@@ -16,6 +25,8 @@ use uvm_gpu::fault::{AccessKind, FaultRecord};
 use uvm_hostos::dma::DmaSpace;
 use uvm_hostos::host::HostMemory;
 use uvm_sim::cost::CostModel;
+use uvm_sim::error::UvmError;
+use uvm_sim::inject::{InjectionPoint, Injector, PointInjector};
 use uvm_sim::mem::{Allocation, VaBlockId, PAGE_SIZE};
 use uvm_sim::rng::DetRng;
 use uvm_sim::time::{SimDuration, SimTime};
@@ -37,14 +48,20 @@ pub struct UvmDriver {
     cost: CostModel,
     /// Managed allocations and VABlock states.
     pub va_space: VaSpace,
-    mem: GpuMemoryManager,
-    dma: DmaSpace,
+    pub(crate) mem: GpuMemoryManager,
+    pub(crate) dma: DmaSpace,
     rng: DetRng,
     batch_seq: u64,
     /// Batch-level instrumentation (one record per serviced batch).
     pub records: Vec<BatchRecord>,
     /// Per-fault metadata, kept when `policy.log_fault_metadata`.
     pub fault_log: Vec<FaultMeta>,
+    /// Copy-engine (migration) failure injection.
+    inj_copy: PointInjector,
+    /// Batch-fetch stall injection.
+    inj_fetch: PointInjector,
+    /// Fault-buffer overflow drops already attributed to earlier batches.
+    overflow_seen: u64,
 }
 
 impl UvmDriver {
@@ -60,7 +77,19 @@ impl UvmDriver {
             batch_seq: 0,
             records: Vec::new(),
             fault_log: Vec::new(),
+            inj_copy: PointInjector::disabled(),
+            inj_fetch: PointInjector::disabled(),
+            overflow_seen: 0,
         }
+    }
+
+    /// Install the driver-owned fault injectors (DMA map, copy engine,
+    /// batch fetch) from a wired [`Injector`]. Points not taken here belong
+    /// to other subsystems (the GPU fault buffer, the host OS).
+    pub fn set_injectors(&mut self, inj: &mut Injector) {
+        self.dma.set_injector(inj.take(InjectionPoint::DmaMapFailure));
+        self.inj_copy = inj.take(InjectionPoint::CopyEngineFault);
+        self.inj_fetch = inj.take(InjectionPoint::BatchFetchStall);
     }
 
     /// Driver policy.
@@ -71,6 +100,17 @@ impl UvmDriver {
     /// The GPU memory manager (read access for experiments).
     pub fn memory(&self) -> &GpuMemoryManager {
         &self.mem
+    }
+
+    /// The DMA space (read access for experiments and the auditor).
+    pub fn dma_space(&self) -> &DmaSpace {
+        &self.dma
+    }
+
+    /// Deterministic exponential backoff for retry `attempt` (0-based),
+    /// charged to the batch record. Pure policy — no RNG.
+    fn backoff(&self, attempt: u32) -> SimDuration {
+        self.policy.retry_backoff * (1u64 << attempt.min(20))
     }
 
     /// Register a managed allocation (the `cudaMallocManaged` entry point).
@@ -116,6 +156,11 @@ impl UvmDriver {
     /// amortized into one operation per VABlock. Appends one record
     /// (flagged `driver_prefetch_op`) and returns its end time.
     ///
+    /// Blocks already degraded to a remote mapping are skipped (they are
+    /// permanently non-migratable). Unrecoverable failures propagate as
+    /// [`UvmError`]; transient injected failures are retried under the
+    /// same policy as fault-driven servicing.
+    ///
     /// # Panics
     ///
     /// Panics if `alloc` was not registered via [`Self::managed_alloc`].
@@ -125,7 +170,7 @@ impl UvmDriver {
         gpu: &mut Gpu,
         host: &mut HostMemory,
         start: SimTime,
-    ) -> SimTime {
+    ) -> Result<SimTime, UvmError> {
         let seq = self.batch_seq;
         self.batch_seq += 1;
         let mut rec = BatchRecord {
@@ -135,7 +180,10 @@ impl UvmDriver {
             ..Default::default()
         };
         for block_id in alloc.va_blocks() {
-            let state = self.va_space.block_mut(block_id);
+            let state = self.va_space.try_block(block_id)?;
+            if state.degraded {
+                continue;
+            }
             let valid = state.valid_pages;
             let migrate = Self::range_bitmap_of(valid).and_not(&state.gpu_resident);
             if migrate.is_empty() {
@@ -145,16 +193,16 @@ impl UvmDriver {
             rec.served_blocks.push(block_id.0);
             rec.per_block_faults.push(0);
             rec.t_fixed += self.cost.per_vablock_fixed;
-            self.ensure_block_allocated(block_id, seq, gpu, &mut rec);
-            self.setup_block_dma(block_id, &mut rec);
-            self.unmap_block_if_needed(block_id, host, &mut rec);
-            self.migrate_pages(block_id, &migrate, gpu, &mut rec);
+            self.ensure_block_allocated(block_id, seq, gpu, &mut rec)?;
+            self.setup_block_dma(block_id, &mut rec)?;
+            self.unmap_block_if_needed(block_id, host, &mut rec)?;
+            self.try_migrate_with_recovery(block_id, &migrate, gpu, &mut rec)?;
         }
         rec.t_fixed += self.cost.per_batch_fixed;
         rec.end = start + rec.component_sum();
         let end = rec.end;
         self.records.push(rec);
-        end
+        Ok(end)
     }
 
     /// Sum of all batch service times (the paper's "Batch" column in
@@ -172,13 +220,20 @@ impl UvmDriver {
     /// changes to `gpu` and `host`, appends and returns the batch record.
     /// The caller (engine) is responsible for the subsequent buffer flush
     /// and replay.
+    ///
+    /// Transient injected failures (batch-fetch stalls, DMA-map failures,
+    /// host page-table failures, copy-engine faults) are retried up to
+    /// [`DriverPolicy::max_retries`] times with deterministic exponential
+    /// backoff; a block whose migration keeps failing is degraded to a
+    /// remote mapping. `Err` means the recovery policy was exhausted on a
+    /// non-degradable stage, or an internal invariant broke.
     pub fn service_batch(
         &mut self,
         faults: &[FaultRecord],
         gpu: &mut Gpu,
         host: &mut HostMemory,
         start: SimTime,
-    ) -> &BatchRecord {
+    ) -> Result<&BatchRecord, UvmError> {
         let seq = self.batch_seq;
         self.batch_seq += 1;
 
@@ -188,6 +243,23 @@ impl UvmDriver {
             raw_faults: faults.len() as u64,
             ..Default::default()
         };
+
+        // ---- attribute hardware-buffer drops since the last batch ----
+        let total_drops = gpu.fault_buffer.overflow_drops();
+        rec.dropped_faults = total_drops.saturating_sub(self.overflow_seen);
+        self.overflow_seen = total_drops;
+
+        // ---- injected batch-fetch stall: retry the fetch, bounded ----
+        let mut attempt = 0u32;
+        while self.inj_fetch.is_enabled() && self.inj_fetch.should_fail(start) {
+            rec.injected_faults += 1;
+            if attempt >= self.policy.max_retries {
+                return Err(UvmError::BatchFetchStall { batch: seq });
+            }
+            rec.retries += 1;
+            rec.t_backoff += self.backoff(attempt);
+            attempt += 1;
+        }
 
         // ---- fetch + composition accounting ----
         rec.t_fetch = self.cost.fetch_per_fault * faults.len() as u64;
@@ -253,12 +325,13 @@ impl UvmDriver {
 
             // Faulted pages not already resident (or remote-mapped) on the
             // GPU.
-            let (valid, advise, resident_now) = {
-                let state = self.va_space.block_mut(block_id);
+            let (valid, advise, resident_now, degraded) = {
+                let state = self.va_space.try_block(block_id)?;
                 (
                     state.valid_pages,
                     state.advise,
                     state.gpu_resident.or(&state.remote_mapped),
+                    state.degraded,
                 )
             };
             let any_write = block_faults
@@ -301,14 +374,15 @@ impl UvmDriver {
             }
             let pinned = self.va_space.block_mut(block_id).pinned_until.is_some();
 
-            // PreferredLocationHost: establish remote mappings over the
-            // interconnect instead of migrating — no device memory, no
+            // PreferredLocationHost — and blocks degraded by exhausted
+            // migration retries — establish remote mappings over the
+            // interconnect instead of migrating: no device memory, no
             // eviction pressure, but every access crosses PCIe.
-            if pinned || advise == Some(MemAdvise::PreferredLocationHost) {
+            if pinned || degraded || advise == Some(MemAdvise::PreferredLocationHost) {
                 if faulted.is_empty() {
                     continue;
                 }
-                self.setup_block_dma(block_id, &mut rec);
+                self.setup_block_dma(block_id, &mut rec)?;
                 let n = faulted.count() as u64;
                 rec.t_pte += self.cost.pte_time(n);
                 rec.remote_mapped_pages += n;
@@ -337,8 +411,8 @@ impl UvmDriver {
                 continue;
             }
 
-            self.ensure_block_allocated(block_id, seq, gpu, &mut rec);
-            self.setup_block_dma(block_id, &mut rec);
+            self.ensure_block_allocated(block_id, seq, gpu, &mut rec)?;
+            self.setup_block_dma(block_id, &mut rec)?;
 
             // Fault-path CPU unmap — skipped under ReadMostly duplication
             // unless a write collapses it. (Simplification: the GPU page
@@ -349,25 +423,35 @@ impl UvmDriver {
             // neutral.)
             let read_mostly = advise == Some(MemAdvise::ReadMostly) && !any_write;
             if !read_mostly {
-                self.unmap_block_if_needed(block_id, host, &mut rec);
+                self.unmap_block_if_needed(block_id, host, &mut rec)?;
             }
-            self.migrate_pages(block_id, &migrate, gpu, &mut rec);
-            let state = self.va_space.block_mut(block_id);
+            if !self.try_migrate_with_recovery(block_id, &migrate, gpu, &mut rec)? {
+                // The block was degraded to a remote mapping instead of
+                // migrated; read duplication is moot.
+                continue;
+            }
+            let state = self.va_space.try_block_mut(block_id)?;
             state.read_duplicated = read_mostly;
         }
 
         rec.t_fixed += self.cost.per_batch_fixed;
 
         // Host-side scheduling noise on the management portion (everything
-        // but the DMA transfers, which are hardware-paced).
-        let mgmt = rec.component_sum() - rec.t_transfer - rec.t_evict;
+        // but the DMA transfers, which are hardware-paced, and the retry
+        // backoff, which is deterministic policy).
+        let mgmt = rec.component_sum() - rec.t_transfer - rec.t_evict - rec.t_backoff;
         let jitter = self.rng.jitter_factor(self.cost.service_jitter);
         let jittered_extra = mgmt.mul_f64(jitter).saturating_sub(mgmt);
         rec.t_fixed += jittered_extra;
 
         rec.end = start + rec.component_sum();
         self.records.push(rec);
-        self.records.last().expect("just pushed")
+        if self.policy.audit_enabled {
+            crate::audit::audit(self, gpu, host)?;
+        }
+        // Infallible: the record was pushed two statements above and the
+        // auditor does not mutate `records`.
+        Ok(self.records.last().expect("just pushed"))
     }
 
     /// A bitmap covering pages `0..valid`.
@@ -386,16 +470,16 @@ impl UvmDriver {
         seq: u64,
         gpu: &mut Gpu,
         rec: &mut BatchRecord,
-    ) {
-        match self.mem.ensure_resident(block_id, seq) {
+    ) -> Result<(), UvmError> {
+        match self.mem.ensure_resident(block_id, seq)? {
             EvictOutcome::AlreadyResident => {}
             EvictOutcome::Allocated => {
-                self.va_space.block_mut(block_id).gpu_allocated = true;
+                self.va_space.try_block_mut(block_id)?.gpu_allocated = true;
             }
             EvictOutcome::Evicted(victims) => {
                 for victim in victims {
                     rec.evicted_blocks.push(victim.0);
-                    let vstate = self.va_space.block_mut(victim);
+                    let vstate = self.va_space.try_block_mut(victim)?;
                     let evict_pages: Vec<_> =
                         vstate.gpu_resident.iter_set().map(|i| victim.page_at(i)).collect();
                     // Read-duplicated victims have an intact host copy:
@@ -420,49 +504,162 @@ impl UvmDriver {
                     vstate.last_evict_seq = Some(rec.seq);
                 }
                 rec.t_evict += self.cost.service_restart;
-                self.va_space.block_mut(block_id).gpu_allocated = true;
+                self.va_space.try_block_mut(block_id)?.gpu_allocated = true;
             }
         }
+        Ok(())
     }
 
     /// First GPU touch of a block: create DMA mappings for every valid
     /// page and store reverse mappings in the kernel radix tree.
-    /// Compulsory; prefetching cannot eliminate it (Sec. 5.2).
-    fn setup_block_dma(&mut self, block_id: VaBlockId, rec: &mut BatchRecord) {
-        let state = self.va_space.block_mut(block_id);
+    /// Compulsory; prefetching cannot eliminate it (Sec. 5.2). An injected
+    /// DMA-map failure is retried with backoff; exhaustion is fatal for
+    /// the batch (the block cannot be serviced at all without mappings).
+    fn setup_block_dma(&mut self, block_id: VaBlockId, rec: &mut BatchRecord) -> Result<(), UvmError> {
+        let state = self.va_space.try_block(block_id)?;
         if state.dma_mapped {
-            return;
+            return Ok(());
         }
         let valid = state.valid_pages;
-        let pages = (0..valid as usize).map(|i| block_id.page_at(i));
-        let report = self.dma.map_pages(pages);
+        let mut attempt = 0u32;
+        let report = loop {
+            let pages = (0..valid as usize).map(|i| block_id.page_at(i));
+            match self.dma.try_map_pages(block_id, pages, rec.start) {
+                Ok(report) => break report,
+                Err(e) => {
+                    rec.injected_faults += 1;
+                    if attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    rec.retries += 1;
+                    rec.t_backoff += self.backoff(attempt);
+                    attempt += 1;
+                }
+            }
+        };
         let base = self
             .cost
             .dma_setup_time(report.pages_mapped, report.radix_nodes_allocated);
+        // Drawn only after a successful mapping, so the injection-off RNG
+        // stream is identical to the pre-injection pipeline.
         let tail = self
             .rng
             .heavy_tail(self.cost.dma_tail_prob, self.cost.dma_tail_max_factor);
         rec.t_dma_setup += base.mul_f64(tail);
-        self.va_space.block_mut(block_id).dma_mapped = true;
+        self.va_space.try_block_mut(block_id)?.dma_mapped = true;
         rec.new_va_blocks += 1;
+        Ok(())
     }
 
     /// Fault-path CPU unmap: tear down every CPU mapping in the block
-    /// before migrating.
+    /// before migrating. An injected host page-table failure is retried
+    /// with backoff; exhaustion is fatal (migrating while CPU mappings
+    /// persist would alias the page).
     fn unmap_block_if_needed(
         &mut self,
         block_id: VaBlockId,
         host: &mut HostMemory,
         rec: &mut BatchRecord,
-    ) {
-        if host.mapped_pages_in_block(block_id) > 0 {
-            let report = host.unmap_mapping_range(block_id);
-            rec.cpu_pages_unmapped += report.pages_unmapped;
-            rec.t_unmap += self
-                .cost
-                .unmap_time(report.pages_unmapped, report.mapper_cores)
-                .mul_f64(report.numa_factor);
+    ) -> Result<(), UvmError> {
+        if host.mapped_pages_in_block(block_id) == 0 {
+            return Ok(());
         }
+        let mut attempt = 0u32;
+        let report = loop {
+            match host.try_unmap_mapping_range(block_id, rec.start) {
+                Ok(report) => break report,
+                Err(e) => {
+                    rec.injected_faults += 1;
+                    if attempt >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    rec.retries += 1;
+                    rec.t_backoff += self.backoff(attempt);
+                    attempt += 1;
+                }
+            }
+        };
+        rec.cpu_pages_unmapped += report.pages_unmapped;
+        rec.t_unmap += self
+            .cost
+            .unmap_time(report.pages_unmapped, report.mapper_cores)
+            .mul_f64(report.numa_factor);
+        Ok(())
+    }
+
+    /// Run the copy engine for `migrate` pages of `block_id`, retrying
+    /// injected copy-engine faults with backoff. Returns `Ok(true)` when
+    /// the migration happened, `Ok(false)` when retries were exhausted and
+    /// the block was degraded to a remote mapping instead.
+    fn try_migrate_with_recovery(
+        &mut self,
+        block_id: VaBlockId,
+        migrate: &PageBitmap,
+        gpu: &mut Gpu,
+        rec: &mut BatchRecord,
+    ) -> Result<bool, UvmError> {
+        let mut attempt = 0u32;
+        while self.inj_copy.is_enabled() && self.inj_copy.should_fail(rec.start) {
+            rec.injected_faults += 1;
+            if attempt >= self.policy.max_retries {
+                self.degrade_to_remote(block_id, migrate, gpu, rec)?;
+                return Ok(false);
+            }
+            rec.retries += 1;
+            rec.t_backoff += self.backoff(attempt);
+            attempt += 1;
+        }
+        self.migrate_pages(block_id, migrate, gpu, rec)?;
+        Ok(true)
+    }
+
+    /// Last-resort recovery when migration keeps failing: give up the
+    /// block's device allocation (writing any resident data back) and map
+    /// the pages remotely from sysmem, permanently. Mirrors the real
+    /// driver's fallback of leaving pages at their current location when
+    /// the copy engine is unusable.
+    fn degrade_to_remote(
+        &mut self,
+        block_id: VaBlockId,
+        pages: &PageBitmap,
+        gpu: &mut Gpu,
+        rec: &mut BatchRecord,
+    ) -> Result<(), UvmError> {
+        let (resident, had_alloc, read_dup) = {
+            let state = self.va_space.try_block(block_id)?;
+            (state.gpu_resident, state.gpu_allocated, state.read_duplicated)
+        };
+        if had_alloc {
+            // Release the device allocation: resident data writes back to
+            // host RAM (free under read duplication), and the chunk frees
+            // without counting as an LRU eviction.
+            let bytes = if read_dup {
+                0
+            } else {
+                resident.count() as u64 * PAGE_SIZE
+            };
+            rec.bytes_evicted += bytes;
+            rec.t_evict += self.cost.evict_fixed + self.cost.d2h_time(bytes);
+            gpu.unmap_pages(resident.iter_set().map(|i| block_id.page_at(i)));
+            self.mem.release(block_id);
+        }
+        let remote = pages.or(&resident);
+        let n = remote.count() as u64;
+        rec.t_pte += self.cost.pte_time(n);
+        rec.remote_mapped_pages += n;
+        rec.degraded_blocks += 1;
+        let state = self.va_space.try_block_mut(block_id)?;
+        if !read_dup {
+            let evicted = state.gpu_resident;
+            state.host_data.merge(&evicted);
+        }
+        state.gpu_resident.reset();
+        state.gpu_allocated = false;
+        state.read_duplicated = false;
+        state.degraded = true;
+        state.remote_mapped.merge(&remote);
+        gpu.map_pages(remote.iter_set().map(|i| block_id.page_at(i)));
+        Ok(())
     }
 
     /// Population (zero-fill of fresh GPU pages), migration, and
@@ -475,8 +672,8 @@ impl UvmDriver {
         migrate: &PageBitmap,
         gpu: &mut Gpu,
         rec: &mut BatchRecord,
-    ) {
-        let state = self.va_space.block_mut(block_id);
+    ) -> Result<(), UvmError> {
+        let state = self.va_space.try_block_mut(block_id)?;
         let n_pages = migrate.count() as u64;
         let data_pages = migrate.and(&state.host_data).count() as u64;
         let bytes = data_pages * PAGE_SIZE;
@@ -489,6 +686,7 @@ impl UvmDriver {
         state.gpu_resident.merge(migrate);
         state.last_migrate_seq = rec.seq;
         gpu.map_pages(migrate.iter_set().map(|i| block_id.page_at(i)));
+        Ok(())
     }
 }
 
@@ -528,7 +726,7 @@ mod tests {
         }
 
         let faults: Vec<_> = (0..10).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(1000));
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(1000)).unwrap();
         assert_eq!(rec.raw_faults, 10);
         assert_eq!(rec.unique_pages, 10);
         assert_eq!(rec.pages_migrated, 10);
@@ -551,7 +749,7 @@ mod tests {
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
         let faults: Vec<_> = (0..10).map(|i| fault(alloc.page(i), 0, AccessKind::Write)).collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
         assert_eq!(rec.pages_migrated, 10);
         assert_eq!(rec.bytes_migrated, 0, "no host data, nothing to transfer");
         assert_eq!(rec.t_transfer, SimDuration::ZERO);
@@ -567,9 +765,9 @@ mod tests {
         driver.managed_alloc(alloc);
 
         let f1: Vec<_> = (0..4).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0));
+        driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0)).unwrap();
         let f2: Vec<_> = (4..8).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let rec = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000));
+        let rec = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000)).unwrap();
         assert_eq!(rec.new_va_blocks, 0);
         assert_eq!(rec.t_dma_setup, SimDuration::ZERO);
     }
@@ -587,7 +785,7 @@ mod tests {
             fault(p, 0, AccessKind::Read), // type 1
             fault(p, 2, AccessKind::Read), // type 2
         ];
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
         assert_eq!(rec.raw_faults, 3);
         assert_eq!(rec.unique_pages, 1);
         assert_eq!(rec.dup_same_utlb, 1);
@@ -607,12 +805,12 @@ mod tests {
         }
 
         let f1 = vec![fault(alloc.page(0), 0, AccessKind::Read)];
-        let r1 = driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0)).clone();
+        let r1 = driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0)).unwrap().clone();
         assert_eq!(r1.cpu_pages_unmapped, 100, "whole block range unmapped");
         assert!(r1.t_unmap > SimDuration::ZERO);
 
         let f2 = vec![fault(alloc.page(1), 0, AccessKind::Read)];
-        let r2 = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000)).clone();
+        let r2 = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000)).unwrap().clone();
         assert_eq!(r2.cpu_pages_unmapped, 0, "second touch pays no unmap");
         assert_eq!(r2.t_unmap, SimDuration::ZERO);
     }
@@ -629,7 +827,7 @@ mod tests {
                 driver.cpu_touch(&mut host, alloc.page(i), (i as u32) % threads, true);
             }
             let f = vec![fault(alloc.page(0), 0, AccessKind::Read)];
-            driver.service_batch(&f, &mut gpu, &mut host, SimTime(0)).t_unmap
+            driver.service_batch(&f, &mut gpu, &mut host, SimTime(0)).unwrap().t_unmap
         };
         let single = run(1);
         let multi = run(32);
@@ -647,7 +845,7 @@ mod tests {
         // Touch blocks 0, 1, then 2: block 0 must be evicted.
         for (i, &b) in blocks.iter().enumerate() {
             let f = vec![fault(b.first_page(), 0, AccessKind::Read)];
-            let rec = driver.service_batch(&f, &mut gpu, &mut host, SimTime(i as u64 * 1_000_000));
+            let rec = driver.service_batch(&f, &mut gpu, &mut host, SimTime(i as u64 * 1_000_000)).unwrap();
             if i < 2 {
                 assert_eq!(rec.evictions, 0);
             } else {
@@ -677,13 +875,13 @@ mod tests {
         // Migrate block 0 (pays unmap), then block 1 (evicts 0, pays its
         // own unmap), then block 0 again (evicts 1, NO unmap).
         let r0 = driver
-            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
+            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap()
             .clone();
         let r1 = driver
-            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))
+            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000)).unwrap()
             .clone();
         let r2 = driver
-            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(2_000_000))
+            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(2_000_000)).unwrap()
             .clone();
         assert!(r0.t_unmap > SimDuration::ZERO);
         assert!(r1.t_unmap > SimDuration::ZERO);
@@ -701,7 +899,7 @@ mod tests {
 
         // 12 of the first 16 pages fault: the 64 KiB leaf upgrades.
         let faults: Vec<_> = (0..12).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
         assert_eq!(rec.prefetched_pages, 4);
         assert_eq!(rec.pages_migrated, 16);
         assert!(gpu.is_resident(alloc.page(15)));
@@ -714,7 +912,7 @@ mod tests {
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
         let faults: Vec<_> = (0..12).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
         assert_eq!(rec.prefetched_pages, 0);
         assert_eq!(rec.pages_migrated, 12);
         assert!(!gpu.is_resident(alloc.page(15)));
@@ -734,7 +932,7 @@ mod tests {
         let faults: Vec<_> = (0..200)
             .map(|i| fault(alloc.page(i * 10), (i % 4) as u32, AccessKind::Read))
             .collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
         assert!(
             rec.transfer_fraction() < 0.30,
             "transfer fraction {}",
@@ -751,7 +949,7 @@ mod tests {
         driver.managed_alloc(alloc);
         let p = alloc.page(0);
         let faults = vec![fault(p, 0, AccessKind::Read), fault(p, 0, AccessKind::Read)];
-        driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0));
+        driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
         assert_eq!(driver.fault_log.len(), 2);
         assert!(!driver.fault_log[0].was_duplicate);
         assert!(driver.fault_log[1].was_duplicate);
@@ -771,7 +969,7 @@ mod tests {
 
         // Read fault: migrates WITHOUT unmapping the CPU copy.
         let r0 = driver
-            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
+            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap()
             .clone();
         assert_eq!(r0.t_unmap, SimDuration::ZERO, "read duplication keeps CPU mapping");
         assert_eq!(r0.cpu_pages_unmapped, 0);
@@ -780,7 +978,7 @@ mod tests {
 
         // Evicting the duplicated block (capacity 1) writes nothing back.
         let r1 = driver
-            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))
+            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000)).unwrap()
             .clone();
         assert_eq!(r1.evictions, 1);
         assert_eq!(r1.bytes_evicted, 0, "dropping a duplicate needs no writeback");
@@ -797,7 +995,7 @@ mod tests {
             driver.cpu_touch(&mut host, alloc.page(i), 0, true);
         }
         let rec = driver
-            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Write)], &mut gpu, &mut host, SimTime(0))
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Write)], &mut gpu, &mut host, SimTime(0)).unwrap()
             .clone();
         assert!(rec.t_unmap > SimDuration::ZERO, "a write collapses the duplication");
         assert!(rec.cpu_pages_unmapped > 0);
@@ -818,7 +1016,7 @@ mod tests {
             .step_by(64)
             .map(|i| fault(alloc.page(i as u64), 0, AccessKind::Read))
             .collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).clone();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap().clone();
         assert_eq!(rec.pages_migrated, 0, "no migration under host preference");
         assert_eq!(rec.bytes_migrated, 0);
         assert_eq!(rec.remote_mapped_pages, 16);
@@ -838,7 +1036,7 @@ mod tests {
         for i in 0..1024 {
             driver.cpu_touch(&mut host, alloc.page(i), 0, true);
         }
-        let end = driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0));
+        let end = driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0)).unwrap();
         assert!(end > SimTime(0));
         let rec = driver.records.last().unwrap().clone();
         assert!(rec.driver_prefetch_op);
@@ -850,6 +1048,7 @@ mod tests {
         // nothing.
         let rec2 = driver
             .service_batch(&[fault(alloc.page(5), 0, AccessKind::Read)], &mut gpu, &mut host, end)
+            .unwrap()
             .clone();
         assert_eq!(rec2.pages_migrated, 0);
     }
@@ -860,9 +1059,9 @@ mod tests {
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
-        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0));
+        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0)).unwrap();
         let first = driver.records.last().unwrap().pages_migrated;
-        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(10_000_000));
+        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(10_000_000)).unwrap();
         let second = driver.records.last().unwrap();
         assert_eq!(first, 512);
         assert_eq!(second.pages_migrated, 0, "already resident");
@@ -889,7 +1088,7 @@ mod tests {
                     &mut gpu,
                     &mut host,
                     SimTime(round * 1_000_000),
-                );
+                ).unwrap();
             }
             (driver.memory().evictions(), driver.records.iter().map(|r| r.thrashing_pins).sum::<u64>())
         };
@@ -901,6 +1100,291 @@ mod tests {
             evictions_on < evictions_off,
             "pinning reduces evictions: {evictions_on} vs {evictions_off}"
         );
+    }
+
+    // ---- fault-injection recovery ----
+
+    use uvm_sim::inject::{FaultPlan, InjectionPoint, Injector, PointPlan};
+
+    fn inject_setup(
+        capacity_blocks: u64,
+        policy: DriverPolicy,
+        plan: FaultPlan,
+    ) -> (UvmDriver, Gpu, HostMemory) {
+        let (mut driver, mut gpu, mut host) = setup(capacity_blocks, policy);
+        let mut inj = Injector::new(&plan, 7);
+        gpu.fault_buffer.set_injector(inj.take(InjectionPoint::FaultBufferOverflow));
+        host.set_injector(inj.take(InjectionPoint::HostPopulateFailure));
+        driver.set_injectors(&mut inj);
+        (driver, gpu, host)
+    }
+
+    #[test]
+    fn transient_copy_fault_retries_then_succeeds() {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::CopyEngineFault, PointPlan::scheduled(SimTime(0), 1));
+        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let rec = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap();
+        assert_eq!(rec.injected_faults, 1);
+        assert_eq!(rec.retries, 1);
+        assert!(rec.t_backoff > SimDuration::ZERO, "retry charged backoff");
+        assert_eq!(rec.degraded_blocks, 0);
+        assert_eq!(rec.pages_migrated, 1, "migration succeeded on retry");
+        assert!(gpu.is_resident(alloc.page(0)));
+    }
+
+    #[test]
+    fn exhausted_copy_retries_degrade_block_to_remote() {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::CopyEngineFault, PointPlan::with_probability(1.0));
+        let (mut driver, mut gpu, mut host) =
+            inject_setup(16, DriverPolicy::default().retries(2), plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let id = alloc.va_blocks().next().unwrap();
+
+        let rec = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
+            .unwrap()
+            .clone();
+        assert_eq!(rec.injected_faults, 3, "initial attempt + 2 retries all failed");
+        assert_eq!(rec.retries, 2);
+        assert_eq!(rec.degraded_blocks, 1);
+        assert_eq!(rec.pages_migrated, 0);
+        assert_eq!(rec.remote_mapped_pages, 1, "faulted page served from sysmem");
+        let state = driver.va_space.block(id);
+        assert!(state.degraded, "degradation is sticky");
+        assert!(!state.gpu_allocated);
+        assert!(gpu.is_resident(alloc.page(0)), "remote mapping satisfies the access");
+
+        // A later fault on the degraded block takes the remote path
+        // directly: the (still always-failing) copy engine is never asked.
+        let rec2 = driver
+            .service_batch(&[fault(alloc.page(1), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))
+            .unwrap()
+            .clone();
+        assert_eq!(rec2.injected_faults, 0, "degraded block bypasses the copy engine");
+        assert_eq!(rec2.degraded_blocks, 0);
+        assert_eq!(rec2.remote_mapped_pages, 1);
+        assert_eq!(rec2.pages_migrated, 0);
+    }
+
+    #[test]
+    fn degraded_block_releases_its_device_memory() {
+        // Migrate successfully first, then degrade on a later batch: the
+        // resident pages must write back and the device chunk must free.
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::CopyEngineFault, PointPlan::scheduled(SimTime(1_000_000), 100));
+        let (mut driver, mut gpu, mut host) =
+            inject_setup(16, DriverPolicy::default().retries(1), plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        for i in 0..8 {
+            driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+        }
+        driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
+            .unwrap();
+        assert_eq!(driver.memory().resident_blocks(), 1);
+
+        let rec = driver
+            .service_batch(&[fault(alloc.page(1), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))
+            .unwrap()
+            .clone();
+        assert_eq!(rec.degraded_blocks, 1);
+        assert!(rec.bytes_evicted > 0, "resident data written back");
+        assert_eq!(driver.memory().resident_blocks(), 0, "device chunk freed");
+        assert_eq!(driver.memory().evictions(), 0, "degradation is not an LRU eviction");
+        // Both the previously-resident page and the new fault are remote.
+        assert!(gpu.is_resident(alloc.page(0)));
+        assert!(gpu.is_resident(alloc.page(1)));
+    }
+
+    #[test]
+    fn dma_map_failure_retries_then_succeeds() {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::DmaMapFailure, PointPlan::scheduled(SimTime(0), 2));
+        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let rec = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap();
+        assert_eq!(rec.injected_faults, 2);
+        assert_eq!(rec.retries, 2);
+        assert_eq!(rec.new_va_blocks, 1, "mapping eventually succeeded");
+        assert_eq!(rec.pages_migrated, 1);
+    }
+
+    #[test]
+    fn exhausted_dma_retries_fail_the_batch() {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::DmaMapFailure, PointPlan::with_probability(1.0));
+        let (mut driver, mut gpu, mut host) =
+            inject_setup(16, DriverPolicy::default().retries(1), plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let id = alloc.va_blocks().next().unwrap();
+        let err = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
+            .unwrap_err();
+        assert_eq!(err, UvmError::DmaMapFailed { block: id.0 });
+    }
+
+    #[test]
+    fn host_unmap_failure_retries_then_succeeds() {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::HostPopulateFailure, PointPlan::scheduled(SimTime(0), 1));
+        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        driver.cpu_touch(&mut host, alloc.page(0), 0, true);
+        let rec = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap();
+        assert_eq!(rec.injected_faults, 1);
+        assert_eq!(rec.retries, 1);
+        assert_eq!(rec.cpu_pages_unmapped, 1, "unmap succeeded on retry");
+    }
+
+    #[test]
+    fn exhausted_host_unmap_retries_fail_the_batch() {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::HostPopulateFailure, PointPlan::with_probability(1.0));
+        let (mut driver, mut gpu, mut host) =
+            inject_setup(16, DriverPolicy::default().retries(0), plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        driver.cpu_touch(&mut host, alloc.page(0), 0, true);
+        let id = alloc.va_blocks().next().unwrap();
+        let err = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
+            .unwrap_err();
+        assert_eq!(err, UvmError::HostPopulateFailed { block: id.0 });
+    }
+
+    #[test]
+    fn fetch_stall_retries_within_budget_and_fails_beyond_it() {
+        // Burst of 2 stalls with 3 retries allowed: recovers.
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::BatchFetchStall, PointPlan::scheduled(SimTime(0), 2));
+        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let rec = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap();
+        assert_eq!(rec.injected_faults, 2);
+        assert_eq!(rec.retries, 2);
+        assert_eq!(rec.pages_migrated, 1);
+
+        // Burst larger than the retry budget: the batch is lost.
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::BatchFetchStall, PointPlan::scheduled(SimTime(0), 10));
+        let (mut driver, mut gpu, mut host) =
+            inject_setup(16, DriverPolicy::default().retries(2), plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let err = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
+            .unwrap_err();
+        assert_eq!(err, UvmError::BatchFetchStall { batch: 0 });
+    }
+
+    #[test]
+    fn buffer_overflow_drops_are_attributed_to_the_next_batch() {
+        let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+        let mut inj = Injector::new(
+            &FaultPlan::none()
+                .with(InjectionPoint::FaultBufferOverflow, PointPlan::scheduled(SimTime(5), 3)),
+            7,
+        );
+        gpu.fault_buffer.set_injector(inj.take(InjectionPoint::FaultBufferOverflow));
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+
+        // Push 6 faults; the injected storm at t=5 swallows 3 of them.
+        for i in 0..6u64 {
+            let mut f = fault(alloc.page(i), 0, AccessKind::Read);
+            f.arrival = SimTime(5 + i);
+            gpu.fault_buffer.push(f);
+        }
+        assert_eq!(gpu.fault_buffer.overflow_drops(), 3);
+        let batch = gpu.fault_buffer.fetch(256, SimTime(100));
+        let rec = driver.service_batch(&batch, &mut gpu, &mut host, SimTime(100)).unwrap().clone();
+        assert_eq!(rec.raw_faults, 3, "survivors serviced");
+        assert_eq!(rec.dropped_faults, 3, "storm drops attributed here");
+        // The attribution is once-only.
+        let rec2 = driver
+            .service_batch(&[fault(alloc.page(10), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(200))
+            .unwrap();
+        assert_eq!(rec2.dropped_faults, 0);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_record_streams_under_injection() {
+        let run = |seed: u64| {
+            let policy = DriverPolicy::default();
+            let cost = CostModel::titan_v();
+            let mut driver = UvmDriver::new(policy, cost.clone(), 4, seed);
+            let mut gpu = Gpu::new(GpuSpec::small(4 * VABLOCK_SIZE), cost);
+            let mut host = HostMemory::new();
+            let mut inj = Injector::new(&FaultPlan::uniform(0.2), seed);
+            gpu.fault_buffer.set_injector(inj.take(InjectionPoint::FaultBufferOverflow));
+            host.set_injector(inj.take(InjectionPoint::HostPopulateFailure));
+            driver.set_injectors(&mut inj);
+            let mut asa = AddressSpaceAllocator::new();
+            let alloc = asa.alloc(8 * VABLOCK_SIZE);
+            driver.managed_alloc(alloc);
+            for round in 0..20u64 {
+                let faults: Vec<_> = (0..16)
+                    .map(|i| fault(alloc.page((round * 97 + i * 31) % 4096), (i % 4) as u32, AccessKind::Read))
+                    .collect();
+                // Exhaustion under p=0.2 is possible in principle; ignore
+                // failed batches — both runs must fail identically too.
+                let _ = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(round * 1_000_000));
+            }
+            serde_json::to_string(&driver.records).unwrap()
+        };
+        assert_eq!(run(0x5C21), run(0x5C21), "same seed, byte-identical records");
+        assert_ne!(run(0x5C21), run(0x1234), "different seed diverges");
+    }
+
+    #[test]
+    fn disabled_injection_leaves_baseline_records_unchanged() {
+        // Wiring a FaultPlan::none() injector must not perturb the RNG
+        // stream or any recorded time.
+        let run = |wire: bool| {
+            let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
+            if wire {
+                let mut inj = Injector::new(&FaultPlan::none(), 99);
+                driver.set_injectors(&mut inj);
+            }
+            let mut asa = AddressSpaceAllocator::new();
+            let alloc = asa.alloc(2 * VABLOCK_SIZE);
+            driver.managed_alloc(alloc);
+            for i in 0..100 {
+                driver.cpu_touch(&mut host, alloc.page(i), 0, true);
+            }
+            for round in 0..5u64 {
+                let faults: Vec<_> = (0..32)
+                    .map(|i| fault(alloc.page(round * 100 + i), 0, AccessKind::Read))
+                    .collect();
+                driver.service_batch(&faults, &mut gpu, &mut host, SimTime(round * 1_000_000)).unwrap();
+            }
+            serde_json::to_string(&driver.records).unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
@@ -915,11 +1399,11 @@ mod tests {
         }
 
         let small: Vec<_> = (0..8).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let r_small = driver.service_batch(&small, &mut gpu, &mut host, SimTime(0)).clone();
+        let r_small = driver.service_batch(&small, &mut gpu, &mut host, SimTime(0)).unwrap().clone();
         let big: Vec<_> = (0..256)
             .map(|i| fault(alloc.page(512 + i), 0, AccessKind::Read))
             .collect();
-        let r_big = driver.service_batch(&big, &mut gpu, &mut host, SimTime(10_000_000)).clone();
+        let r_big = driver.service_batch(&big, &mut gpu, &mut host, SimTime(10_000_000)).unwrap().clone();
         assert!(r_big.service_time() > r_small.service_time());
         assert!(r_big.bytes_migrated > r_small.bytes_migrated);
     }
@@ -935,19 +1419,19 @@ mod tests {
         let warmup: Vec<_> = (0..32)
             .map(|b| fault(alloc.page(b * 512 + 511), 0, AccessKind::Read))
             .collect();
-        driver.service_batch(&warmup, &mut gpu, &mut host, SimTime(0));
+        driver.service_batch(&warmup, &mut gpu, &mut host, SimTime(0)).unwrap();
 
         // 64 pages in 1 block vs 64 pages across 16 blocks.
         let concentrated: Vec<_> =
             (0..64).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
         let rc = driver
-            .service_batch(&concentrated, &mut gpu, &mut host, SimTime(100_000_000))
+            .service_batch(&concentrated, &mut gpu, &mut host, SimTime(100_000_000)).unwrap()
             .clone();
         let spread: Vec<_> = (0..64)
             .map(|i| fault(alloc.page(512 + (i % 16) * 512 + 32 + i / 16), 0, AccessKind::Read))
             .collect();
         let rs = driver
-            .service_batch(&spread, &mut gpu, &mut host, SimTime(200_000_000))
+            .service_batch(&spread, &mut gpu, &mut host, SimTime(200_000_000)).unwrap()
             .clone();
         assert_eq!(rc.pages_migrated, rs.pages_migrated);
         assert!(rs.num_va_blocks > rc.num_va_blocks);

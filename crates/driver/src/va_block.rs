@@ -60,6 +60,12 @@ pub struct VaBlockState {
     /// While set, faults map the block remotely instead of migrating —
     /// the thrashing-mitigation pin, expiring at this batch sequence.
     pub pinned_until: Option<u64>,
+    /// Recovery state: migration retries were exhausted on this block, so
+    /// the driver permanently degraded it to a remote (sysmem-mapped,
+    /// non-migrated) block. Faults on a degraded block take the remote
+    /// path, like `PreferredLocationHost`, without further copy-engine
+    /// attempts.
+    pub degraded: bool,
 }
 
 impl VaBlockState {
@@ -80,6 +86,7 @@ impl VaBlockState {
             read_duplicated: false,
             last_evict_seq: None,
             pinned_until: None,
+            degraded: false,
         }
     }
 

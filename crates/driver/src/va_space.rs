@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use uvm_sim::error::UvmError;
 use uvm_sim::mem::{Allocation, PageNum, VaBlockId, PAGES_PER_VABLOCK};
 
 use crate::va_block::VaBlockState;
@@ -71,6 +72,22 @@ impl VaSpace {
             .unwrap_or_else(|| panic!("fault outside managed memory: block {id:?}"))
     }
 
+    /// Fallible lookup used on the fault-servicing path: a GPU fault can
+    /// carry a bogus address, and the driver must fail the batch with a
+    /// typed error rather than take the process down.
+    pub fn try_block(&self, id: VaBlockId) -> Result<&VaBlockState, UvmError> {
+        self.blocks
+            .get(&id)
+            .ok_or(UvmError::UnmanagedAccess { block: id.0 })
+    }
+
+    /// Fallible mutable lookup (see [`Self::try_block`]).
+    pub fn try_block_mut(&mut self, id: VaBlockId) -> Result<&mut VaBlockState, UvmError> {
+        self.blocks
+            .get_mut(&id)
+            .ok_or(UvmError::UnmanagedAccess { block: id.0 })
+    }
+
     /// Iterate all block states (unordered).
     pub fn blocks(&self) -> impl Iterator<Item = &VaBlockState> {
         self.blocks.values()
@@ -130,5 +147,23 @@ mod tests {
     fn unmanaged_block_panics() {
         let vs = VaSpace::new();
         let _ = vs.block(VaBlockId(99));
+    }
+
+    #[test]
+    fn try_block_returns_typed_error() {
+        let mut vs = VaSpace::new();
+        assert_eq!(
+            vs.try_block(VaBlockId(99)).unwrap_err(),
+            UvmError::UnmanagedAccess { block: 99 }
+        );
+        assert_eq!(
+            vs.try_block_mut(VaBlockId(99)).unwrap_err(),
+            UvmError::UnmanagedAccess { block: 99 }
+        );
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        vs.register(alloc);
+        let id = alloc.va_blocks().next().unwrap();
+        assert!(vs.try_block(id).is_ok());
     }
 }

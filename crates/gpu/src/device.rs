@@ -314,6 +314,7 @@ impl Gpu {
                 return StepOutcome::Blocked;
             }
 
+            // Infallible: the `at_program_end` branch above already returned.
             let instr = w.fetch_next_instr().expect("not at program end");
             t += match instr {
                 Instr::Delay(d) => *d,

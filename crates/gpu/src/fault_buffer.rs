@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use uvm_sim::inject::PointInjector;
 use uvm_sim::time::SimTime;
 
 use crate::fault::FaultRecord;
@@ -24,6 +25,8 @@ pub struct FaultBuffer {
     flush_drops: u64,
     /// Monotone count of entries ever inserted.
     total_inserted: u64,
+    /// Overflow-storm injection (disabled by default; see `uvm_sim::inject`).
+    injector: PointInjector,
 }
 
 impl FaultBuffer {
@@ -35,7 +38,15 @@ impl FaultBuffer {
             overflow_drops: 0,
             flush_drops: 0,
             total_inserted: 0,
+            injector: PointInjector::disabled(),
         }
+    }
+
+    /// Install the overflow-storm injector (the
+    /// [`InjectionPoint::FaultBufferOverflow`](uvm_sim::inject::InjectionPoint)
+    /// site).
+    pub fn set_injector(&mut self, injector: PointInjector) {
+        self.injector = injector;
     }
 
     /// Number of entries currently buffered.
@@ -55,9 +66,12 @@ impl FaultBuffer {
 
     /// Append a fault. Returns `false` (and counts an overflow drop) when
     /// the buffer is full — the hardware drops the entry and the access
-    /// re-faults after the next replay.
+    /// re-faults after the next replay. An injected overflow storm makes the
+    /// buffer behave as if it were full for the storm's duration.
     pub fn push(&mut self, fault: FaultRecord) -> bool {
-        if self.entries.len() as u32 >= self.capacity {
+        if self.entries.len() as u32 >= self.capacity
+            || (self.injector.is_enabled() && self.injector.should_fail(fault.arrival))
+        {
             self.overflow_drops += 1;
             return false;
         }
@@ -177,6 +191,28 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.flush_drops(), 5);
         assert_eq!(b.flush(), 0);
+    }
+
+    #[test]
+    fn injected_storm_drops_a_burst_without_filling_the_buffer() {
+        use uvm_sim::inject::PointPlan;
+        use uvm_sim::DetRng;
+
+        let mut b = FaultBuffer::new(64);
+        b.set_injector(PointInjector::new(
+            &PointPlan::scheduled(SimTime(10), 3),
+            DetRng::new(1),
+        ));
+        assert!(b.push(fault(1, 5)));
+        // The storm hits: three consecutive arrivals are dropped even though
+        // the buffer has plenty of free slots.
+        assert!(!b.push(fault(2, 10)));
+        assert!(!b.push(fault(3, 11)));
+        assert!(!b.push(fault(4, 12)));
+        assert!(b.push(fault(5, 13)));
+        assert_eq!(b.overflow_drops(), 3);
+        assert_eq!(b.total_inserted(), 2);
+        assert_eq!(b.len(), 2);
     }
 
     #[test]

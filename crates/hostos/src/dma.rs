@@ -11,7 +11,10 @@
 
 use std::collections::HashMap;
 
-use uvm_sim::mem::PageNum;
+use uvm_sim::error::UvmError;
+use uvm_sim::inject::PointInjector;
+use uvm_sim::mem::{PageNum, VaBlockId};
+use uvm_sim::time::SimTime;
 
 use crate::radix_tree::RadixTree;
 
@@ -37,12 +40,21 @@ pub struct DmaSpace {
     forward: HashMap<PageNum, DmaAddr>,
     reverse: RadixTree<PageNum>,
     next_addr: u64,
+    /// DMA-map failure injection (disabled by default).
+    injector: PointInjector,
 }
 
 impl DmaSpace {
     /// An empty DMA space.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install the DMA-map failure injector (the
+    /// [`InjectionPoint::DmaMapFailure`](uvm_sim::inject::InjectionPoint)
+    /// site).
+    pub fn set_injector(&mut self, injector: PointInjector) {
+        self.injector = injector;
     }
 
     /// Number of live DMA mappings.
@@ -53,6 +65,22 @@ impl DmaSpace {
     /// Total radix-tree nodes currently allocated (tree footprint).
     pub fn radix_nodes(&self) -> u64 {
         self.reverse.stats().nodes
+    }
+
+    /// Fallible variant of [`DmaSpace::map_pages`]: consults the failure
+    /// injector before touching the space. An injected failure models radix
+    /// node allocation failing inside `dma_map_sgt` — nothing is mapped and
+    /// the caller may retry (the failure is transient, so a retry re-rolls).
+    pub fn try_map_pages<I: IntoIterator<Item = PageNum>>(
+        &mut self,
+        block: VaBlockId,
+        pages: I,
+        now: SimTime,
+    ) -> Result<DmaReport, UvmError> {
+        if self.injector.is_enabled() && self.injector.should_fail(now) {
+            return Err(UvmError::DmaMapFailed { block: block.0 });
+        }
+        Ok(self.map_pages(pages))
     }
 
     /// Create DMA mappings for `pages`, skipping pages already mapped.
@@ -151,6 +179,25 @@ mod tests {
         let max = *allocs.iter().max().unwrap();
         let min = *allocs.iter().min().unwrap();
         assert!(max > min, "block-to-block DMA-setup work should vary: {allocs:?}");
+    }
+
+    #[test]
+    fn injected_map_failure_leaves_space_untouched() {
+        use uvm_sim::inject::PointPlan;
+        use uvm_sim::DetRng;
+
+        let mut dma = DmaSpace::new();
+        dma.set_injector(PointInjector::new(
+            &PointPlan::scheduled(SimTime(0), 1),
+            DetRng::new(2),
+        ));
+        let block = VaBlockId(7);
+        let err = dma.try_map_pages(block, block.pages(), SimTime(0)).unwrap_err();
+        assert_eq!(err, UvmError::DmaMapFailed { block: 7 });
+        assert_eq!(dma.mapped_pages(), 0, "failed map must not partially apply");
+        // The trigger is one-shot: the retry succeeds.
+        let report = dma.try_map_pages(block, block.pages(), SimTime(1)).unwrap();
+        assert_eq!(report.pages_mapped, 512);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 
 use std::collections::HashMap;
 
+use uvm_sim::error::UvmError;
+use uvm_sim::inject::PointInjector;
 use uvm_sim::mem::{PageNum, VaBlockId};
+use uvm_sim::time::SimTime;
 
 use crate::numa::NumaTopology;
 use crate::page_table::{PageTable, PteFlags};
@@ -74,6 +77,8 @@ pub struct HostMemory {
     worker_core: u32,
     /// Monotone counter of `unmap_mapping_range` invocations.
     unmap_calls: u64,
+    /// Host page-table failure injection (disabled by default).
+    injector: PointInjector,
 }
 
 impl HostMemory {
@@ -134,6 +139,30 @@ impl HostMemory {
     /// Number of `unmap_mapping_range` calls made so far.
     pub fn unmap_calls(&self) -> u64 {
         self.unmap_calls
+    }
+
+    /// Install the host page-table failure injector (the
+    /// [`InjectionPoint::HostPopulateFailure`](uvm_sim::inject::InjectionPoint)
+    /// site).
+    pub fn set_injector(&mut self, injector: PointInjector) {
+        self.injector = injector;
+    }
+
+    /// Fallible variant of [`HostMemory::unmap_mapping_range`]: consults the
+    /// failure injector before touching any state. An injected failure
+    /// models a transient allocation failure inside the kernel's page-table
+    /// walk; the attempt still counts as an invocation, and a retry re-rolls
+    /// because the failure is transient.
+    pub fn try_unmap_mapping_range(
+        &mut self,
+        block: VaBlockId,
+        now: SimTime,
+    ) -> Result<UnmapReport, UvmError> {
+        if self.injector.is_enabled() && self.injector.should_fail(now) {
+            self.unmap_calls += 1;
+            return Err(UvmError::HostPopulateFailed { block: block.0 });
+        }
+        Ok(self.unmap_mapping_range(block))
     }
 
     /// Fault-path unmap of every CPU-resident page in `block`
@@ -264,6 +293,28 @@ mod tests {
         let mut flat = HostMemory::new();
         flat.cpu_touch(block_page(10, 0), 30, true);
         assert_eq!(flat.unmap_mapping_range(VaBlockId(10)).numa_factor, 1.0);
+    }
+
+    #[test]
+    fn injected_unmap_failure_preserves_mappings() {
+        use uvm_sim::inject::PointPlan;
+        use uvm_sim::DetRng;
+
+        let mut hm = HostMemory::new();
+        for i in 0..16 {
+            hm.cpu_touch(block_page(11, i), 0, true);
+        }
+        hm.set_injector(PointInjector::new(
+            &PointPlan::scheduled(SimTime(0), 1),
+            DetRng::new(3),
+        ));
+        let err = hm.try_unmap_mapping_range(VaBlockId(11), SimTime(0)).unwrap_err();
+        assert_eq!(err, UvmError::HostPopulateFailed { block: 11 });
+        assert_eq!(hm.mapped_pages(), 16, "failed unmap must not partially apply");
+        assert_eq!(hm.unmap_calls(), 1, "the failed attempt still counts");
+        // One-shot trigger consumed: the retry succeeds.
+        let report = hm.try_unmap_mapping_range(VaBlockId(11), SimTime(1)).unwrap();
+        assert_eq!(report.pages_unmapped, 16);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Typed errors for the UVM servicing pipeline.
+//!
+//! The servicing path historically panicked (or `debug_assert!`ed) on
+//! conditions a real driver survives: a DMA mapping that cannot be built, a
+//! copy-engine fault mid-migration, a host page-table operation that fails
+//! transiently under memory pressure. [`UvmError`] gives every such
+//! condition a typed, matchable representation so the driver can apply a
+//! recovery *policy* (bounded retry, degradation to a remote mapping,
+//! flush-and-replay) instead of tearing the process down, and so callers of
+//! the simulation can observe exactly which stage of the pipeline gave up.
+//!
+//! Errors carry the smallest useful identity (a block or batch number) so a
+//! failed run can be correlated against the fault log and batch records.
+
+use core::fmt;
+
+/// An error surfaced by the UVM servicing pipeline.
+///
+/// The first four variants correspond one-to-one to the named fault
+/// [injection points](crate::inject::InjectionPoint); they are produced only
+/// after the driver's bounded-retry recovery is exhausted (or, for
+/// [`UvmError::CopyEngineFault`], when degradation to a remote mapping is
+/// not possible). The remaining variants are structural: they replace
+/// panics and debug asserts on driver-internal invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UvmError {
+    /// Building the IOMMU/DMA mapping for a block failed (models radix-tree
+    /// node allocation failure in `dma_map_sgt`), and retries were exhausted.
+    DmaMapFailed {
+        /// The 2 MiB VABlock whose mapping could not be built.
+        block: u64,
+    },
+    /// The copy engine faulted while migrating a block's pages, retries were
+    /// exhausted, and the block could not be degraded to a remote mapping.
+    CopyEngineFault {
+        /// The VABlock whose migration failed.
+        block: u64,
+    },
+    /// A host page-table populate/teardown operation failed (models
+    /// allocation failure inside the kernel's page-table walk), and retries
+    /// were exhausted.
+    HostPopulateFailed {
+        /// The VABlock whose host page-table operation failed.
+        block: u64,
+    },
+    /// The driver worker could not fetch the fault batch from the buffer
+    /// (persistent stall), and retries were exhausted.
+    BatchFetchStall {
+        /// Sequence number of the batch that could not be fetched.
+        batch: u64,
+    },
+    /// A fault referenced a page outside every managed allocation.
+    UnmanagedAccess {
+        /// The VABlock of the offending address.
+        block: u64,
+    },
+    /// The cross-subsystem invariant audit found disagreeing state.
+    InvariantViolation {
+        /// Which subsystem pair disagreed (e.g. `"va-space/gpu"`).
+        subsystem: &'static str,
+        /// The VABlock exhibiting the violation.
+        block: u64,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for UvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UvmError::DmaMapFailed { block } => {
+                write!(f, "DMA mapping failed for block {block} (retries exhausted)")
+            }
+            UvmError::CopyEngineFault { block } => {
+                write!(f, "copy-engine fault migrating block {block} (retries exhausted)")
+            }
+            UvmError::HostPopulateFailed { block } => {
+                write!(f, "host page-table populate failed for block {block} (retries exhausted)")
+            }
+            UvmError::BatchFetchStall { batch } => {
+                write!(f, "fault batch {batch} fetch stalled (retries exhausted)")
+            }
+            UvmError::UnmanagedAccess { block } => {
+                write!(f, "fault outside managed memory: block {block}")
+            }
+            UvmError::InvariantViolation { subsystem, block, detail } => {
+                write!(f, "invariant violation [{subsystem}] block {block}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UvmError {}
+
+/// Convenience alias for pipeline results.
+pub type UvmResult<T> = Result<T, UvmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_stage() {
+        let msgs = [
+            UvmError::DmaMapFailed { block: 3 }.to_string(),
+            UvmError::CopyEngineFault { block: 4 }.to_string(),
+            UvmError::HostPopulateFailed { block: 5 }.to_string(),
+            UvmError::BatchFetchStall { batch: 6 }.to_string(),
+            UvmError::UnmanagedAccess { block: 7 }.to_string(),
+        ];
+        assert!(msgs[0].contains("DMA") && msgs[0].contains('3'));
+        assert!(msgs[1].contains("copy-engine") && msgs[1].contains('4'));
+        assert!(msgs[2].contains("page-table") && msgs[2].contains('5'));
+        assert!(msgs[3].contains("stalled") && msgs[3].contains('6'));
+        assert!(msgs[4].contains("outside managed") && msgs[4].contains('7'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            UvmError::DmaMapFailed { block: 1 },
+            UvmError::DmaMapFailed { block: 1 }
+        );
+        assert_ne!(
+            UvmError::DmaMapFailed { block: 1 },
+            UvmError::CopyEngineFault { block: 1 }
+        );
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(UvmError::BatchFetchStall { batch: 9 });
+        assert!(e.to_string().contains("batch 9"));
+    }
+}

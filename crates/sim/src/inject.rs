@@ -1,0 +1,427 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] names *where* the pipeline should fail and *how often*;
+//! an [`Injector`] turns the plan into per-point [`PointInjector`]s that the
+//! owning subsystems consult at their injection sites. Failures trigger
+//! either probabilistically (an independent [`DetRng`] stream per point,
+//! forked from the experiment seed) or at scheduled [`SimTime`]s, optionally
+//! in bursts — a scheduled overflow trigger with `burst = 32` models a
+//! fault-buffer overflow *storm*, not a single dropped entry.
+//!
+//! Determinism properties:
+//!
+//! * Each point draws from its own forked stream, so enabling injection at
+//!   one point never perturbs the draw sequence of another, and two runs of
+//!   the same plan and seed produce byte-identical traces.
+//! * A disabled point ([`PointPlan::default`]) performs **zero** RNG draws,
+//!   so a run with an empty plan is bit-for-bit identical to a run built
+//!   before this module existed.
+//!
+//! The five injection points mirror the failure modes the paper's pipeline
+//! is exposed to in a real driver: replayable-buffer overflow storms,
+//! DMA-map (IOMMU) failures, copy-engine faults during migration, host
+//! page-table populate failures, and batch-fetch stalls of the driver
+//! worker.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// A named site in the servicing pipeline where failures can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InjectionPoint {
+    /// The GPU's replayable fault buffer drops incoming faults as if it
+    /// overflowed (an overflow storm when triggered with a burst).
+    FaultBufferOverflow,
+    /// Building a block's DMA/IOMMU mapping fails.
+    DmaMapFailure,
+    /// The copy engine faults while migrating a block.
+    CopyEngineFault,
+    /// A host page-table populate/teardown operation fails.
+    HostPopulateFailure,
+    /// The driver worker stalls fetching a fault batch.
+    BatchFetchStall,
+}
+
+impl InjectionPoint {
+    /// All five points, in a fixed order (used for seed derivation).
+    pub const ALL: [InjectionPoint; 5] = [
+        InjectionPoint::FaultBufferOverflow,
+        InjectionPoint::DmaMapFailure,
+        InjectionPoint::CopyEngineFault,
+        InjectionPoint::HostPopulateFailure,
+        InjectionPoint::BatchFetchStall,
+    ];
+
+    /// Stable short name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectionPoint::FaultBufferOverflow => "overflow",
+            InjectionPoint::DmaMapFailure => "dma-map",
+            InjectionPoint::CopyEngineFault => "copy-engine",
+            InjectionPoint::HostPopulateFailure => "host-populate",
+            InjectionPoint::BatchFetchStall => "fetch-stall",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        // Distinct odd salts so forked streams are unrelated.
+        match self {
+            InjectionPoint::FaultBufferOverflow => 0x1_0F1,
+            InjectionPoint::DmaMapFailure => 0x3_0D3,
+            InjectionPoint::CopyEngineFault => 0x5_0C5,
+            InjectionPoint::HostPopulateFailure => 0x7_0B7,
+            InjectionPoint::BatchFetchStall => 0x9_0A9,
+        }
+    }
+}
+
+/// Failure configuration for a single injection point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointPlan {
+    /// Per-operation failure probability in `[0, 1]`. `0.0` disables the
+    /// probabilistic trigger (and performs no RNG draws).
+    pub probability: f64,
+    /// Scheduled one-shot triggers: the point fails on the first operation
+    /// at or after each listed time. Unsorted input is accepted.
+    pub at: Vec<SimTime>,
+    /// Consecutive operations failed per trigger (`>= 1`). A burst models a
+    /// storm: e.g. an overflow trigger with `burst = 32` drops the next 32
+    /// faults arriving at the buffer.
+    pub burst: u32,
+}
+
+impl Default for PointPlan {
+    fn default() -> Self {
+        PointPlan { probability: 0.0, at: Vec::new(), burst: 1 }
+    }
+}
+
+impl PointPlan {
+    /// A plan that fails each operation independently with probability `p`.
+    pub fn with_probability(p: f64) -> Self {
+        PointPlan { probability: p, ..PointPlan::default() }
+    }
+
+    /// A plan with one scheduled trigger at `t` failing `burst` operations.
+    pub fn scheduled(t: SimTime, burst: u32) -> Self {
+        PointPlan { at: vec![t], burst: burst.max(1), ..PointPlan::default() }
+    }
+
+    /// Whether this plan can ever fire.
+    pub fn is_enabled(&self) -> bool {
+        self.probability > 0.0 || !self.at.is_empty()
+    }
+}
+
+/// A complete fault plan: one [`PointPlan`] per injection point.
+///
+/// The default plan is empty (injection fully disabled); it is what every
+/// paper-figure experiment runs with.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Replayable fault-buffer overflow storms.
+    pub overflow: PointPlan,
+    /// DMA/IOMMU map failures.
+    pub dma_map: PointPlan,
+    /// Copy-engine faults during migration.
+    pub copy_engine: PointPlan,
+    /// Host page-table populate failures.
+    pub host_populate: PointPlan,
+    /// Driver batch-fetch stalls.
+    pub fetch_stall: PointPlan,
+}
+
+impl FaultPlan {
+    /// The empty plan: injection disabled everywhere.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan failing **every** point independently with probability `p`
+    /// (the shape the `ext_inject` sweep uses).
+    pub fn uniform(p: f64) -> Self {
+        let mut plan = FaultPlan::none();
+        for point in InjectionPoint::ALL {
+            plan.point_mut(point).probability = p;
+        }
+        plan
+    }
+
+    /// The configuration of one point.
+    pub fn point(&self, p: InjectionPoint) -> &PointPlan {
+        match p {
+            InjectionPoint::FaultBufferOverflow => &self.overflow,
+            InjectionPoint::DmaMapFailure => &self.dma_map,
+            InjectionPoint::CopyEngineFault => &self.copy_engine,
+            InjectionPoint::HostPopulateFailure => &self.host_populate,
+            InjectionPoint::BatchFetchStall => &self.fetch_stall,
+        }
+    }
+
+    /// Mutable access to the configuration of one point.
+    pub fn point_mut(&mut self, p: InjectionPoint) -> &mut PointPlan {
+        match p {
+            InjectionPoint::FaultBufferOverflow => &mut self.overflow,
+            InjectionPoint::DmaMapFailure => &mut self.dma_map,
+            InjectionPoint::CopyEngineFault => &mut self.copy_engine,
+            InjectionPoint::HostPopulateFailure => &mut self.host_populate,
+            InjectionPoint::BatchFetchStall => &mut self.fetch_stall,
+        }
+    }
+
+    /// Builder: set one point's plan.
+    pub fn with(mut self, p: InjectionPoint, plan: PointPlan) -> Self {
+        *self.point_mut(p) = plan;
+        self
+    }
+
+    /// Whether any point can fire.
+    pub fn is_enabled(&self) -> bool {
+        InjectionPoint::ALL.iter().any(|&p| self.point(p).is_enabled())
+    }
+}
+
+/// The runtime state of one injection point, owned by the subsystem that
+/// hosts the site (the fault buffer, the DMA space, the host OS, or the
+/// driver itself).
+#[derive(Debug, Clone)]
+pub struct PointInjector {
+    probability: f64,
+    /// Sorted schedule of one-shot triggers; `next_at` indexes the first
+    /// unconsumed entry.
+    schedule: Vec<SimTime>,
+    next_at: usize,
+    /// Remaining operations to fail from an active burst.
+    burst_left: u32,
+    burst: u32,
+    rng: DetRng,
+    fired: u64,
+}
+
+impl Default for PointInjector {
+    fn default() -> Self {
+        PointInjector::disabled()
+    }
+}
+
+impl PointInjector {
+    /// An injector that never fires and never draws.
+    pub fn disabled() -> Self {
+        PointInjector {
+            probability: 0.0,
+            schedule: Vec::new(),
+            next_at: 0,
+            burst_left: 0,
+            burst: 1,
+            rng: DetRng::new(0),
+            fired: 0,
+        }
+    }
+
+    /// Build from a plan with a dedicated RNG stream.
+    pub fn new(plan: &PointPlan, rng: DetRng) -> Self {
+        let mut schedule = plan.at.clone();
+        schedule.sort_unstable();
+        PointInjector {
+            probability: plan.probability.clamp(0.0, 1.0),
+            schedule,
+            next_at: 0,
+            burst_left: 0,
+            burst: plan.burst.max(1),
+            rng,
+            fired: 0,
+        }
+    }
+
+    /// Whether this injector can still fire.
+    pub fn is_enabled(&self) -> bool {
+        self.probability > 0.0 || self.next_at < self.schedule.len() || self.burst_left > 0
+    }
+
+    /// Consult the injector at an injection site. Returns `true` if the
+    /// operation at simulated time `now` must fail.
+    ///
+    /// Disabled injectors return `false` without drawing from the RNG, so an
+    /// empty [`FaultPlan`] leaves every other random stream untouched.
+    pub fn should_fail(&mut self, now: SimTime) -> bool {
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            self.fired += 1;
+            return true;
+        }
+        if self.next_at < self.schedule.len() && now >= self.schedule[self.next_at] {
+            self.next_at += 1;
+            self.burst_left = self.burst - 1;
+            self.fired += 1;
+            return true;
+        }
+        if self.probability > 0.0 && self.rng.chance(self.probability) {
+            self.burst_left = self.burst - 1;
+            self.fired += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Total failures produced so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+/// Factory distributing [`PointInjector`]s to the subsystems that own the
+/// injection sites.
+///
+/// The injector root stream is derived from the experiment seed with a salt
+/// unrelated to the driver and GPU streams, and each point forks its own
+/// child, so draw counts at one site never shift another site's sequence.
+#[derive(Debug)]
+pub struct Injector {
+    points: [PointInjector; 5],
+}
+
+impl Injector {
+    /// Build all point injectors for `plan` under `seed`.
+    pub fn new(plan: &FaultPlan, seed: u64) -> Self {
+        let mut root = DetRng::new(seed ^ 0x001A_F1EC_7ED0_u64);
+        let points = InjectionPoint::ALL
+            .map(|p| PointInjector::new(plan.point(p), root.fork(p.salt())));
+        Injector { points }
+    }
+
+    /// Take ownership of one point's injector (replacing it with a disabled
+    /// one). Call once per point while wiring a system.
+    pub fn take(&mut self, p: InjectionPoint) -> PointInjector {
+        let idx = InjectionPoint::ALL.iter().position(|&q| q == p).expect("point in ALL");
+        std::mem::take(&mut self.points[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires_and_never_draws() {
+        let mut inj = Injector::new(&FaultPlan::none(), 42);
+        for p in InjectionPoint::ALL {
+            let mut pi = inj.take(p);
+            assert!(!pi.is_enabled());
+            for t in 0..1000 {
+                assert!(!pi.should_fail(SimTime(t)));
+            }
+            assert_eq!(pi.fired(), 0);
+        }
+    }
+
+    #[test]
+    fn probability_one_always_fires() {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::DmaMapFailure, PointPlan::with_probability(1.0));
+        let mut inj = Injector::new(&plan, 7);
+        let mut pi = inj.take(InjectionPoint::DmaMapFailure);
+        for t in 0..100 {
+            assert!(pi.should_fail(SimTime(t)));
+        }
+        assert_eq!(pi.fired(), 100);
+    }
+
+    #[test]
+    fn probabilistic_rate_is_roughly_honored() {
+        let plan =
+            FaultPlan::none().with(InjectionPoint::CopyEngineFault, PointPlan::with_probability(0.1));
+        let mut inj = Injector::new(&plan, 11);
+        let mut pi = inj.take(InjectionPoint::CopyEngineFault);
+        let fires = (0..10_000).filter(|&t| pi.should_fail(SimTime(t))).count();
+        assert!((800..1200).contains(&fires), "expected ~1000 fires, got {fires}");
+    }
+
+    #[test]
+    fn scheduled_trigger_fires_once_at_or_after_deadline() {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::BatchFetchStall, PointPlan::scheduled(SimTime(500), 1));
+        let mut inj = Injector::new(&plan, 3);
+        let mut pi = inj.take(InjectionPoint::BatchFetchStall);
+        assert!(!pi.should_fail(SimTime(0)));
+        assert!(!pi.should_fail(SimTime(499)));
+        assert!(pi.should_fail(SimTime(500)));
+        assert!(!pi.should_fail(SimTime(501)));
+        assert_eq!(pi.fired(), 1);
+    }
+
+    #[test]
+    fn burst_fails_consecutive_operations() {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::FaultBufferOverflow, PointPlan::scheduled(SimTime(10), 4));
+        let mut inj = Injector::new(&plan, 5);
+        let mut pi = inj.take(InjectionPoint::FaultBufferOverflow);
+        assert!(!pi.should_fail(SimTime(0)));
+        // Trigger + 3 more from the burst.
+        assert!(pi.should_fail(SimTime(10)));
+        assert!(pi.should_fail(SimTime(10)));
+        assert!(pi.should_fail(SimTime(11)));
+        assert!(pi.should_fail(SimTime(12)));
+        assert!(!pi.should_fail(SimTime(13)));
+        assert_eq!(pi.fired(), 4);
+    }
+
+    #[test]
+    fn same_seed_same_fire_pattern() {
+        let plan = FaultPlan::uniform(0.05);
+        let pattern = |seed: u64| -> Vec<bool> {
+            let mut inj = Injector::new(&plan, seed);
+            let mut pi = inj.take(InjectionPoint::HostPopulateFailure);
+            (0..500).map(|t| pi.should_fail(SimTime(t))).collect()
+        };
+        assert_eq!(pattern(99), pattern(99));
+        assert_ne!(pattern(99), pattern(100), "different seeds should diverge");
+    }
+
+    #[test]
+    fn points_draw_from_independent_streams() {
+        // The dma-map pattern must not depend on whether another point is
+        // enabled or how often it is consulted.
+        let solo = FaultPlan::none()
+            .with(InjectionPoint::DmaMapFailure, PointPlan::with_probability(0.2));
+        let both = solo
+            .clone()
+            .with(InjectionPoint::CopyEngineFault, PointPlan::with_probability(0.5));
+
+        let run = |plan: &FaultPlan, consult_other: bool| -> Vec<bool> {
+            let mut inj = Injector::new(plan, 123);
+            let mut dma = inj.take(InjectionPoint::DmaMapFailure);
+            let mut ce = inj.take(InjectionPoint::CopyEngineFault);
+            (0..200)
+                .map(|t| {
+                    if consult_other {
+                        let _ = ce.should_fail(SimTime(t));
+                    }
+                    dma.should_fail(SimTime(t))
+                })
+                .collect()
+        };
+        assert_eq!(run(&solo, false), run(&both, true));
+    }
+
+    #[test]
+    fn uniform_plan_enables_every_point() {
+        let plan = FaultPlan::uniform(0.3);
+        assert!(plan.is_enabled());
+        for p in InjectionPoint::ALL {
+            assert!(plan.point(p).is_enabled(), "{} should be enabled", p.name());
+            assert_eq!(plan.point(p).probability, 0.3);
+        }
+        assert!(!FaultPlan::none().is_enabled());
+    }
+
+    #[test]
+    fn plan_serde_round_trips() {
+        let plan = FaultPlan::uniform(0.125)
+            .with(InjectionPoint::FaultBufferOverflow, PointPlan::scheduled(SimTime(777), 32));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

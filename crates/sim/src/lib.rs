@@ -16,19 +16,27 @@
 //!   simulator work (pages migrated, PTEs torn down, radix-tree nodes
 //!   allocated, …) into simulated time. The [`CostModel::titan_v`] preset is
 //!   calibrated to the magnitudes reported by Allen & Ge (SC '21).
+//! * [`error`] — the typed pipeline error ([`UvmError`]) that replaces
+//!   panics along the servicing path.
+//! * [`inject`] — deterministic, seeded fault injection ([`FaultPlan`],
+//!   [`Injector`]) driving failures at named pipeline points.
 //!
 //! The simulator is *deterministic*: no wall-clock time, no global state, no
 //! thread nondeterminism. Ties in the event queue are broken by insertion
 //! order, and all randomness flows from an explicit seed.
 
 pub mod cost;
+pub mod error;
 pub mod event;
+pub mod inject;
 pub mod mem;
 pub mod rng;
 pub mod time;
 
 pub use cost::CostModel;
+pub use error::{UvmError, UvmResult};
 pub use event::EventQueue;
+pub use inject::{FaultPlan, InjectionPoint, Injector, PointInjector, PointPlan};
 pub use mem::{PageNum, VaBlockId, VirtAddr, PAGE_SIZE, PAGES_PER_VABLOCK, VABLOCK_SIZE};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

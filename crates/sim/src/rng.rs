@@ -5,52 +5,82 @@
 //! from the experiment seed, so a run is a pure function of its
 //! configuration.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
 
 /// A seeded random source with simulation-oriented helpers.
+///
+/// The generator is a self-contained xoshiro256++ (the same family rand's
+/// `SmallRng` uses) seeded through SplitMix64, so the simulation has no
+/// external RNG dependency and every stream is a pure function of its seed
+/// across toolchain upgrades.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Create from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion: guarantees a non-zero, well-mixed state even
+        // for small consecutive seeds like 0, 1, 2.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256++).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child stream. Used to give each subsystem its
     /// own stream so adding draws in one subsystem does not perturb another.
     pub fn fork(&mut self, salt: u64) -> DetRng {
-        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DetRng::new(seed)
     }
 
-    /// Uniform value in `[0, 1)`.
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    ///
+    /// Lemire multiply-shift reduction; the modulo bias is at most `n / 2^64`
+    /// and irrelevant for simulation-sized ranges.
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         if n == 0 {
             0
         } else {
-            self.inner.gen_range(0..n)
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
         }
     }
 
     /// Bernoulli trial with probability `p`.
     #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Multiplicative jitter: a factor uniform in `[1 - spread, 1 + spread]`.
@@ -59,7 +89,7 @@ impl DetRng {
     /// the paper's batch scatter plots show without destroying determinism.
     #[inline]
     pub fn jitter_factor(&mut self, spread: f64) -> f64 {
-        1.0 + (self.inner.gen::<f64>() * 2.0 - 1.0) * spread
+        1.0 + (self.unit() * 2.0 - 1.0) * spread
     }
 
     /// Apply multiplicative jitter to a duration.

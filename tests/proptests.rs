@@ -166,7 +166,7 @@ proptest! {
         let mut evictions = 0u64;
         for (seq, &b) in requests.iter().enumerate() {
             let seq = seq as u64;
-            match mm.ensure_resident(VaBlockId(b), seq) {
+            match mm.ensure_resident(VaBlockId(b), seq).unwrap() {
                 EvictOutcome::AlreadyResident => {
                     prop_assert!(model.contains_key(&b));
                 }
@@ -207,6 +207,105 @@ proptest! {
         prop_assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
             prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    /// Event queue FIFO tie-break under arbitrary interleavings of
+    /// schedule and pop: same-time events always pop in insertion order,
+    /// even when scheduled across pops and relative to the advancing
+    /// clock.
+    #[test]
+    fn event_queue_fifo_tie_break_interleaved(ops in vec((0u8..4, 0u64..8), 1..300)) {
+        let mut q = EventQueue::new();
+        let mut next_id = 0u64;
+        // Model: ordered (time, insertion-seq) -> id. Insertion seq is
+        // global, so ties at equal times resolve first-scheduled-first.
+        let mut model: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut seq = 0u64;
+        for (op, dt) in ops {
+            if op == 0 {
+                // Pop and compare against the model's minimum.
+                let got = q.pop();
+                let want = model.keys().next().copied();
+                match (got, want) {
+                    (Some((at, id)), Some(k)) => {
+                        let mid = model.remove(&k).unwrap();
+                        prop_assert_eq!(at.as_nanos(), k.0);
+                        prop_assert_eq!(id, mid);
+                    }
+                    (None, None) => {}
+                    (g, w) => prop_assert!(false, "pop {g:?} vs model {w:?}"),
+                }
+            } else {
+                // Schedule at now + dt; dt in 0..8 forces frequent ties.
+                let t = q.now() + uvm_sim::time::SimDuration(dt);
+                q.schedule(t, next_id);
+                model.insert((t.as_nanos(), seq), next_id);
+                next_id += 1;
+                seq += 1;
+            }
+        }
+        // Drain: the remainder pops in exact model order.
+        while let Some((at, id)) = q.pop() {
+            let k = *model.keys().next().unwrap();
+            prop_assert_eq!((at.as_nanos(), id), (k.0, model.remove(&k).unwrap()));
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// Fault-buffer conservation under random push/fetch/flush sequences
+    /// (with an injected overflow storm): every attempted push is either
+    /// inserted or an overflow drop, and every inserted entry is either
+    /// still buffered, fetched, or a flush drop.
+    #[test]
+    fn fault_buffer_conserves_entries(
+        ops in vec((0u8..8, 0u64..200), 1..300),
+        capacity in 1u32..64,
+        storm_at in 0u64..2000,
+    ) {
+        use uvm_gpu::fault_buffer::FaultBuffer;
+        use uvm_sim::inject::{PointInjector, PointPlan};
+        use uvm_sim::rng::DetRng;
+
+        let mut fb = FaultBuffer::new(capacity);
+        fb.set_injector(PointInjector::new(
+            &PointPlan::scheduled(SimTime(storm_at), 4),
+            DetRng::new(1),
+        ));
+        let mut attempts = 0u64;
+        let mut fetched = 0u64;
+        let mut now = 0u64;
+        for (op, arg) in ops {
+            match op {
+                0..=4 => {
+                    // Push (biased: buffers mostly fill). Arrivals are
+                    // monotone like the hardware's.
+                    now += arg;
+                    attempts += 1;
+                    fb.push(FaultRecord {
+                        page: PageNum(arg),
+                        kind: AccessKind::Read,
+                        sm: 0,
+                        utlb: (arg % 8) as u32,
+                        warp: 0,
+                        arrival: SimTime(now),
+                        dup_of_outstanding: false,
+                    });
+                }
+                5 | 6 => {
+                    fetched += fb.fetch(arg as usize % 32, SimTime(now)).len() as u64;
+                }
+                _ => {
+                    fb.flush();
+                }
+            }
+            // Conservation, checked after every operation.
+            prop_assert_eq!(attempts, fb.total_inserted() + fb.overflow_drops());
+            prop_assert_eq!(
+                fb.total_inserted(),
+                fb.len() as u64 + fetched + fb.flush_drops()
+            );
+            prop_assert!(fb.len() as u64 <= capacity as u64);
         }
     }
 }

@@ -1,0 +1,140 @@
+//! Offline `criterion` shim.
+//!
+//! The sandboxed build cannot fetch the real criterion, so this crate keeps
+//! the `benches/` targets compiling and gives them smoke-test semantics:
+//! every registered benchmark body runs exactly once and its wall time is
+//! printed. There is no statistical analysis — `cargo bench` here verifies
+//! that the benchmarked pipelines still execute, not their timing
+//! distribution.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier — defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Shim of criterion's driver. Configuration methods are accepted and
+/// ignored (each bench body runs exactly once regardless).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_once(&id.to_string(), f);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_once(&format!("{}/{}", self.name, id), f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher::default();
+        let label = format!("{}/{}", self.name, id);
+        let start = Instant::now();
+        f(&mut b, input);
+        report(&label, start);
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs the routine under test. `iter` executes its closure exactly once.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+    }
+}
+
+fn run_once(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    let start = Instant::now();
+    f(&mut b);
+    report(label, start);
+}
+
+fn report(label: &str, start: Instant) {
+    println!("bench {label}: ok ({:?})", start.elapsed());
+}
+
+/// Both classic invocation forms of criterion's group macro:
+/// `criterion_group!(name, target, ...)` and the struct-ish
+/// `criterion_group! { name = n; config = expr; targets = t, ... }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut __criterion = $config;
+            $($target(&mut __criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut __criterion = $crate::Criterion::default();
+            $($target(&mut __criterion);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

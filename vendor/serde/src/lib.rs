@@ -1,0 +1,351 @@
+//! Offline `serde` facade.
+//!
+//! The container that builds this workspace has no network access and no
+//! crates.io mirror, so the real `serde` cannot be fetched. This crate keeps
+//! the workspace's source files unchanged by providing the same names —
+//! `serde::Serialize`, `serde::Deserialize`, `#[derive(Serialize)]` — backed
+//! by a much simpler mechanism: every serializable type converts to and from
+//! a [`Value`] tree, and `serde_json` (also vendored) renders that tree.
+//!
+//! Field order is preserved (objects are `Vec<(String, Value)>`, not maps),
+//! so JSON output matches the declaration order exactly as real
+//! `serde_json` output would.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the intermediate representation every
+/// `Serialize` type lowers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integer.
+    NumU(u64),
+    /// Negative integer (always < 0; non-negative integers use [`Value::NumU`]).
+    NumI(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Key/value pairs in insertion (declaration) order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization: lower `self` to a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization: rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Structured deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    pub fn missing_field(name: &str) -> Self {
+        DeError { msg: format!("missing field `{name}`") }
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError { msg: format!("unknown variant `{variant}` for {ty}") }
+    }
+
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::NumU(_) | Value::NumI(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError { msg: format!("invalid type: expected {expected}, found {kind}") }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Support functions used by derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Derive support: view `v` as an object's field list.
+pub fn __object_fields<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        other => Err(DeError::invalid_type(ty, other)),
+    }
+}
+
+/// Derive support: deserialize one named field; a missing field behaves as
+/// `null` (so `Option<T>` fields may be absent) and otherwise reports a
+/// missing-field error.
+pub fn __field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::from_value(&Value::Null).map_err(|_| DeError::missing_field(name)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and container impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::NumU(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::NumU(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::NumI(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::invalid_type(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 { Value::NumU(*self as u64) } else { Value::NumI(*self as i64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::NumU(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::NumI(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::invalid_type(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::NumU(n) => Ok(*n as f64),
+            Value::NumI(n) => Ok(*n as f64),
+            other => Err(DeError::invalid_type("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::invalid_type("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::invalid_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::invalid_type("2-tuple", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(DeError::invalid_type("3-tuple", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(7u32).to_value(), Value::NumU(7));
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a = [1u64, 2, 3];
+        let v = a.to_value();
+        let back: [u64; 3] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, a);
+        assert!(<[u64; 2]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn signed_encoding_splits_on_sign() {
+        assert_eq!((-3i64).to_value(), Value::NumI(-3));
+        assert_eq!(3i64.to_value(), Value::NumU(3));
+        assert_eq!(i64::from_value(&Value::NumU(9)).unwrap(), 9);
+    }
+}

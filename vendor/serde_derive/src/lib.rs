@@ -1,0 +1,350 @@
+//! Dependency-free `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! re-implements the subset of `serde_derive` the workspace actually uses:
+//!
+//! * structs with named fields (externally represented as a JSON object in
+//!   declaration order),
+//! * newtype tuple structs (transparent — serialized as the inner value),
+//! * enums with unit, newtype, and struct variants (externally tagged, the
+//!   classic serde representation).
+//!
+//! Generics and `#[serde(...)]` attributes are deliberately unsupported; the
+//! macro fails loudly if it meets a shape it cannot handle, so silent data
+//! corruption is impossible.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a struct body or an enum variant body.
+enum Shape {
+    /// `{ a: T, b: U }` — we only need the field names; the generated code
+    /// lets type inference find the field types.
+    Named(Vec<String>),
+    /// `(T)` — a single unnamed field, serialized transparently.
+    Newtype,
+    /// No payload at all.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing (no `syn`)
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and the
+    // visibility qualifier until we reach the `struct` / `enum` keyword.
+    let kind = loop {
+        match toks.next().expect("derive input ended before struct/enum keyword") {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                toks.next(); // the `[...]` attribute body
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub` or another modifier; a following `(crate)` group is
+                // skipped by the Group arm below.
+            }
+            TokenTree::Group(_) => {} // `(crate)` of `pub(crate)`
+            other => panic!("unexpected token before item keyword: {other}"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Tuple struct. Only the transparent newtype form is supported.
+                let fields = split_top_level_commas(g.stream());
+                assert!(
+                    kind == "struct" && fields.len() == 1,
+                    "derive shim supports tuple structs with exactly one field ({name})"
+                );
+                return Item::Struct { name, shape: Shape::Newtype };
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive shim does not support generic type {name}")
+            }
+            Some(_) => continue,
+            None => panic!("derive input for {name} has no body"),
+        }
+    };
+    if kind == "struct" {
+        Item::Struct { name, shape: Shape::Named(parse_named_fields(body.stream())) }
+    } else {
+        let variants = split_top_level_commas(body.stream())
+            .into_iter()
+            .map(|chunk| parse_variant(&chunk))
+            .collect();
+        Item::Enum { name, variants }
+    }
+}
+
+/// Split a body's tokens on commas, ignoring commas nested in groups or in
+/// `<...>` generic argument lists (proc-macro groups do not cover angle
+/// brackets, so their depth is tracked by hand). Field types here never
+/// contain `->`, so a bare `>` always closes an angle bracket.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract field names from a `{ a: T, b: U }` body: for each comma-separated
+/// chunk, the field name is the identifier immediately preceding the first
+/// top-level `:`.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut prev_ident: Option<String> = None;
+            let mut skip_next_group = false;
+            for tt in &chunk {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' => skip_next_group = true,
+                    TokenTree::Group(_) if skip_next_group => skip_next_group = false,
+                    TokenTree::Punct(p) if p.as_char() == ':' => {
+                        return prev_ident.expect("field name before `:`");
+                    }
+                    TokenTree::Ident(id) => prev_ident = Some(id.to_string()),
+                    _ => {}
+                }
+            }
+            panic!("struct field without `:` — unsupported shape")
+        })
+        .collect()
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let mut iter = chunk.iter().peekable();
+    let name = loop {
+        match iter.next().expect("empty enum variant") {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // attribute body
+            }
+            TokenTree::Ident(id) => break id.to_string(),
+            other => panic!("unexpected token in enum variant: {other}"),
+        }
+    };
+    let shape = match iter.next() {
+        None => Shape::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = split_top_level_commas(g.stream());
+            assert!(fields.len() == 1, "derive shim supports only newtype tuple variants ({name})");
+            Shape::Newtype
+        }
+        Some(other) => panic!("unexpected token after variant {name}: {other}"),
+    };
+    Variant { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn object_literal(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({}))",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec::Vec::from([{}]))", entries.join(", "))
+}
+
+fn expand_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => object_literal(fields, |f| format!("&self.{f}")),
+                Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Shape::Newtype => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))])),"
+                        ),
+                        Shape::Named(fields) => {
+                            let pat = fields.join(", ");
+                            let inner = object_literal(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {pat} }} => ::serde::Value::Object(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{vn}\"), {inner})])),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn named_constructor(path: &str, fields: &[String], source: &str, ty_label: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__field(__fields, \"{f}\")?,"))
+        .collect();
+    format!(
+        "{{ let __fields = ::serde::__object_fields({source}, \"{ty_label}\")?;\n\
+           ::std::result::Result::Ok({path} {{ {} }}) }}",
+        inits.join(" ")
+    )
+}
+
+fn expand_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => named_constructor(name, fields, "__v", name),
+                Shape::Newtype => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.shape, Shape::Unit)).collect();
+            let tagged: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.shape, Shape::Unit)).collect();
+
+            let mut match_arms = Vec::new();
+            if !unit.is_empty() {
+                let arms: Vec<String> = unit
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                            vn = v.name
+                        )
+                    })
+                    .collect();
+                match_arms.push(format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{\n{}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n}},",
+                    arms.join("\n")
+                ));
+            }
+            if !tagged.is_empty() {
+                let arms: Vec<String> = tagged
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        let build = match &v.shape {
+                            Shape::Newtype => format!(
+                                "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?))"
+                            ),
+                            Shape::Named(fields) => named_constructor(
+                                &format!("{name}::{vn}"),
+                                fields,
+                                "__inner",
+                                &format!("{name}::{vn}"),
+                            ),
+                            Shape::Unit => unreachable!(),
+                        };
+                        format!("\"{vn}\" => {build},")
+                    })
+                    .collect();
+                match_arms.push(format!(
+                    "::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n{}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n}}\n\
+                     }},",
+                    arms.join("\n")
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n{}\n\
+                         _ => ::std::result::Result::Err(::serde::DeError::invalid_type(\"{name}\", __v)),\n}}\n\
+                     }}\n\
+                 }}",
+                match_arms.join("\n")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
