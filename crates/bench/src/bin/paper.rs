@@ -9,11 +9,35 @@
 //! Each experiment prints the same rows/series the paper reports; with
 //! `--json <dir>` the raw result structs are also written as JSON for
 //! external plotting.
+//!
+//! ## Checkpoint / resume
+//!
+//! ```text
+//! --checkpoint-every N     write a checkpoint every N serviced batches
+//! --checkpoint-file PATH   where to write it (default uvm-ckpt.json)
+//! --resume PATH            resume a killed invocation from its checkpoint
+//! --halt-after-checkpoint  exit right after the first checkpoint (kill demo)
+//! ```
+//!
+//! Resume re-executes the harness deterministically; completed runs replay
+//! in full and the checkpointed run restores mid-flight, so the combined
+//! output of the killed invocation and the resumed one is byte-identical
+//! to an uninterrupted run.
+//!
+//! ## Other maintenance commands
+//!
+//! `--bless` rewrites the checked-in golden files from the current output;
+//! `diverge [batch]` runs the lockstep divergence-detector demo.
 
 use std::io::Write as _;
 use std::time::Instant;
 
+use uvm_core::divergence::{run_lockstep_perturbed, LockstepOutcome};
 use uvm_core::experiments::*;
+use uvm_core::runctl::{self, RunCtl};
+use uvm_core::workloads::cpu_init::CpuInitPolicy;
+use uvm_core::workloads::stream::{self, StreamParams};
+use uvm_core::SystemConfig;
 
 const SEED: u64 = 0x5C21;
 
@@ -141,17 +165,82 @@ fn experiments() -> Vec<Experiment> {
     ]
 }
 
+/// Lockstep divergence-detector demo: two identically-seeded systems, one
+/// with a deliberately burned RNG draw before `perturb_at`. The detector
+/// must name the first diverging batch and the subsystem whose digest
+/// broke.
+fn diverge_demo(perturb_at: u64) {
+    let workload = stream::build(StreamParams {
+        warps: 64,
+        pages_per_warp: 16,
+        iters: 1,
+        warps_per_page: 1,
+        cpu_init: Some(CpuInitPolicy::Striped { threads: 8 }),
+    });
+    let config = SystemConfig::test_small(64 * 1024 * 1024).with_seed(SEED);
+    println!("lockstep divergence demo: stream workload, seed {SEED:#x}");
+    println!("instance A: pristine; instance B: one extra RNG draw before batch {perturb_at}");
+    match run_lockstep_perturbed(&config, &workload, perturb_at) {
+        Ok(LockstepOutcome::Identical { batches }) => {
+            println!("runs stayed bit-identical through all {batches} batches");
+            if perturb_at > 0 {
+                eprintln!("error: the perturbation was not detected");
+                std::process::exit(1);
+            }
+        }
+        Ok(LockstepOutcome::Diverged(d)) => {
+            println!("{d}");
+            println!("  instance A digests: gpu={:#018x} driver={:#018x} host={:#018x} run={:#018x}",
+                d.a.gpu, d.a.driver, d.a.host, d.a.run);
+            println!("  instance B digests: gpu={:#018x} driver={:#018x} host={:#018x} run={:#018x}",
+                d.b.gpu, d.b.driver, d.b.host, d.b.run);
+        }
+        Err(e) => {
+            eprintln!("lockstep run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<String> = None;
-    let mut filter: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut bless = false;
+    let mut ctl = RunCtl::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if a == "--json" {
-            json_dir = it.next();
-        } else {
-            filter = Some(a);
+        match a.as_str() {
+            "--json" => json_dir = it.next(),
+            "--bless" => bless = true,
+            "--checkpoint-every" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--checkpoint-every needs a batch count");
+                        std::process::exit(2);
+                    });
+                ctl.checkpoint_every = Some(n);
+            }
+            "--checkpoint-file" => ctl.checkpoint_path = it.next().map(Into::into),
+            "--resume" => ctl.resume_from = it.next().map(Into::into),
+            "--halt-after-checkpoint" => ctl.halt_after_checkpoint = true,
+            _ => positional.push(a),
         }
+    }
+    let filter = positional.first().cloned();
+
+    if filter.as_deref() == Some("diverge") {
+        // Optional trailing batch number; default to a mid-run batch.
+        let at = positional.get(1).and_then(|v| v.parse().ok()).unwrap_or(3);
+        diverge_demo(at);
+        return;
+    }
+
+    if let Err(e) = runctl::configure(ctl) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 
     let all = experiments();
@@ -178,6 +267,16 @@ fn main() {
         println!("{}   [{:.2}s]", e.title, t0.elapsed().as_secs_f64());
         println!("================================================================");
         println!("{text}\n");
+        if bless {
+            match bless_golden(e.id, &text) {
+                Ok(Some(path)) => println!("blessed {}\n", path.display()),
+                Ok(None) => {}
+                Err(err) => {
+                    eprintln!("error: failed to bless golden for {}: {err}", e.id);
+                    std::process::exit(1);
+                }
+            }
+        }
         if let Some(dir) = &json_dir {
             let path = format!("{dir}/{}.json", e.id);
             let mut f = std::fs::File::create(&path).expect("create json file");

@@ -1,0 +1,210 @@
+//! Lockstep divergence detection.
+//!
+//! The simulator's core guarantee is determinism: same config + workload →
+//! bit-identical execution. This module *checks* that guarantee by running
+//! two instances in lockstep — advancing each exactly one serviced batch at
+//! a time — and comparing their per-subsystem state digests
+//! ([`SubsystemDigests`]) after every batch. The instant the digests
+//! disagree, the detector reports the first diverging batch and names the
+//! subsystem(s) whose digest broke, turning "the runs differ somewhere" into
+//! "the driver state diverged at batch 37".
+//!
+//! The two instances can be anything that yields a
+//! [`RunInProgress`]: two fresh systems from
+//! the same seed (regression check), a live run against a restored
+//! checkpoint of itself (snapshot validation), or a deliberately perturbed
+//! pair ([`run_lockstep_perturbed`], the demo of what a
+//! randomness-consuming bug looks like).
+
+use core::fmt;
+
+use uvm_sim::error::UvmError;
+use uvm_workloads::workload::Workload;
+
+use crate::config::SystemConfig;
+use crate::snapshot::SubsystemDigests;
+use crate::system::{Progress, RunHints, RunInProgress, UvmSystem};
+
+/// A detected state divergence between two lockstep runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The first serviced batch after which the states disagreed
+    /// (1-based).
+    pub batch: u64,
+    /// Names of the subsystems whose digests broke, in fixed order
+    /// (`"gpu"`, `"driver"`, `"host"`, `"run"`).
+    pub subsystems: Vec<&'static str>,
+    /// Digests of instance A at the diverging batch.
+    pub a: SubsystemDigests,
+    /// Digests of instance B at the diverging batch.
+    pub b: SubsystemDigests,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at batch {}: digest mismatch in [{}]",
+            self.batch,
+            self.subsystems.join(", ")
+        )
+    }
+}
+
+/// Outcome of a lockstep comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockstepOutcome {
+    /// The runs stayed bit-identical through every batch to completion.
+    Identical {
+        /// Total batches both runs serviced.
+        batches: u64,
+    },
+    /// The runs diverged; details name the batch and subsystem.
+    Diverged(Divergence),
+}
+
+/// Advance `a` and `b` in lockstep, one serviced batch at a time,
+/// comparing subsystem digests after every batch. Returns at the first
+/// divergence or when both runs finish identically.
+///
+/// `tamper` is called before each step with the upcoming batch number
+/// (1-based) and both instances; the identity closure `|_, _, _| {}` runs
+/// a pure comparison, while a perturbing closure stages a deliberate
+/// divergence for testing the detector itself.
+pub fn run_lockstep(
+    mut a: RunInProgress,
+    mut b: RunInProgress,
+    workload: &Workload,
+    mut tamper: impl FnMut(u64, &mut RunInProgress, &mut RunInProgress),
+) -> Result<LockstepOutcome, UvmError> {
+    loop {
+        let next_batch = a.batches().max(b.batches()) + 1;
+        tamper(next_batch, &mut a, &mut b);
+        let pa = a.advance_batch(workload)?;
+        let pb = b.advance_batch(workload)?;
+        let da = a.subsystem_digests();
+        let db = b.subsystem_digests();
+        if da != db || pa != pb {
+            let mut subsystems = da.diff(&db);
+            if subsystems.is_empty() {
+                // Digests agree but one run finished while the other
+                // serviced a batch: the run loops are out of phase.
+                subsystems.push("run");
+            }
+            return Ok(LockstepOutcome::Diverged(Divergence {
+                batch: a.batches().max(b.batches()),
+                subsystems,
+                a: da,
+                b: db,
+            }));
+        }
+        if pa == Progress::Finished {
+            return Ok(LockstepOutcome::Identical { batches: a.batches() });
+        }
+    }
+}
+
+/// Build two identical systems from `config`, perturb instance B's driver
+/// RNG just before batch `perturb_at_batch`, and run the lockstep
+/// detector. With `perturb_at_batch = 0` (or any batch past the end of the
+/// run) nothing is perturbed and the outcome must be
+/// [`LockstepOutcome::Identical`] — the regression form of the check.
+pub fn run_lockstep_perturbed(
+    config: &SystemConfig,
+    workload: &Workload,
+    perturb_at_batch: u64,
+) -> Result<LockstepOutcome, UvmError> {
+    let hints = RunHints::default();
+    let a = UvmSystem::new(config.clone()).start(workload, &hints)?;
+    let b = UvmSystem::new(config.clone()).start(workload, &hints)?;
+    run_lockstep(a, b, workload, |next, _a, b| {
+        if next == perturb_at_batch {
+            b.perturb_driver_rng();
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvm_workloads::cpu_init::CpuInitPolicy;
+    use uvm_workloads::stream::{self, StreamParams};
+
+    const MB: u64 = 1024 * 1024;
+
+    fn workload() -> Workload {
+        stream::build(StreamParams {
+            warps: 32,
+            pages_per_warp: 16,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: Some(CpuInitPolicy::SingleThread),
+        })
+    }
+
+    #[test]
+    fn identical_seeds_stay_in_lockstep() {
+        let config = SystemConfig::test_small(64 * MB);
+        let out = run_lockstep_perturbed(&config, &workload(), 0).unwrap();
+        match out {
+            LockstepOutcome::Identical { batches } => assert!(batches > 0),
+            LockstepOutcome::Diverged(d) => panic!("spurious divergence: {d}"),
+        }
+    }
+
+    #[test]
+    fn perturbed_rng_is_caught_at_the_right_batch() {
+        let config = SystemConfig::test_small(64 * MB);
+        let out = run_lockstep_perturbed(&config, &workload(), 3).unwrap();
+        match out {
+            LockstepOutcome::Diverged(d) => {
+                assert_eq!(d.batch, 3, "divergence must surface at the perturbed batch");
+                assert!(
+                    d.subsystems.contains(&"driver"),
+                    "the driver RNG was perturbed, got {:?}",
+                    d.subsystems
+                );
+                let msg = d.to_string();
+                assert!(msg.contains("batch 3") && msg.contains("driver"), "got: {msg}");
+            }
+            LockstepOutcome::Identical { .. } => {
+                panic!("a burned RNG draw must break lockstep")
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge_immediately() {
+        let w = workload();
+        let a = UvmSystem::new(SystemConfig::test_small(64 * MB).with_seed(1))
+            .start(&w, &RunHints::default())
+            .unwrap();
+        let b = UvmSystem::new(SystemConfig::test_small(64 * MB).with_seed(2))
+            .start(&w, &RunHints::default())
+            .unwrap();
+        match run_lockstep(a, b, &w, |_, _, _| {}).unwrap() {
+            LockstepOutcome::Diverged(d) => assert_eq!(d.batch, 1),
+            LockstepOutcome::Identical { .. } => panic!("different seeds cannot agree"),
+        }
+    }
+
+    #[test]
+    fn restored_checkpoint_stays_in_lockstep_with_live_run() {
+        // Snapshot validation: a restored instance must track the live one
+        // it was captured from, batch for batch, to the end.
+        let w = workload();
+        let config = SystemConfig::test_small(64 * MB);
+        let mut live = UvmSystem::new(config.clone())
+            .start(&w, &RunHints::default())
+            .unwrap();
+        for _ in 0..2 {
+            live.advance_batch(&w).unwrap();
+        }
+        let snap = live.snapshot(&w, 0);
+        let restored = RunInProgress::restore(&snap, &w).unwrap();
+        match run_lockstep(live, restored, &w, |_, _, _| {}).unwrap() {
+            LockstepOutcome::Identical { batches } => assert!(batches >= 2),
+            LockstepOutcome::Diverged(d) => panic!("restore broke lockstep: {d}"),
+        }
+    }
+}

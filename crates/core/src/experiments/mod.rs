@@ -28,6 +28,35 @@
 //! | [`fig17_hpgmg`] | Fig. 17 — HPGMG case study (LRU order) |
 //! | [`table4_speedup`] | Table 4 — prefetch on/off batch & kernel times |
 
+use std::path::{Path, PathBuf};
+
+/// Overwrite the checked-in golden file for experiment `id` with freshly
+/// rendered output (the experiment runner's `--bless` flow). Returns the
+/// path written, or `None` when the experiment keeps no golden file.
+///
+/// The golden lives in this crate's source tree
+/// (`src/experiments/golden/`), so blessing only works from a source
+/// checkout — which is the only place it makes sense.
+pub fn bless_golden(id: &str, rendered: &str) -> std::io::Result<Option<PathBuf>> {
+    let file = match id {
+        "ext-inject" => "ext_inject.txt",
+        _ => return Ok(None),
+    };
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("src/experiments/golden")
+        .join(file);
+    // Keep each line byte-exact (column padding matters to the CI diff);
+    // drop only empty lines, as the CI extraction does.
+    let mut out = rendered
+        .lines()
+        .filter(|l| !l.is_empty())
+        .collect::<Vec<_>>()
+        .join("\n");
+    out.push('\n');
+    std::fs::write(&path, out)?;
+    Ok(Some(path))
+}
+
 pub mod ext_hints;
 pub mod ext_inject;
 pub mod ext_thrashing;

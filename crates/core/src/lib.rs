@@ -36,14 +36,24 @@
 //!   mitigation); each returns a serializable result struct with a
 //!   `render()` text report.
 //! * [`report`] — CSV export and terminal summaries of batch records.
+//! * [`snapshot`] — [`snapshot::SystemSnapshot`]: versioned whole-system
+//!   checkpoints with per-subsystem integrity digests.
+//! * [`runctl`] — process-global `--checkpoint-every` / `--resume` policy
+//!   consulted transparently by every run.
+//! * [`divergence`] — lockstep execution of two instances, reporting the
+//!   first batch and subsystem whose state digests disagree.
 
 pub mod config;
+pub mod divergence;
 pub mod experiments;
 pub mod report;
+pub mod runctl;
+pub mod snapshot;
 pub mod system;
 
 pub use config::SystemConfig;
-pub use system::{RunHints, RunResult, UvmSystem};
+pub use snapshot::SystemSnapshot;
+pub use system::{Progress, RunHints, RunInProgress, RunResult, UvmSystem};
 
 // Re-export the component crates so downstream users need only uvm-core.
 pub use uvm_driver as driver;

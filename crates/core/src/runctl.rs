@@ -1,0 +1,182 @@
+//! Process-global checkpoint/resume policy for the experiment harness.
+//!
+//! The harness runs experiments as a deterministic sequence of system runs.
+//! This module lets the binary entry point declare, once, how those runs
+//! should checkpoint and resume; the run loop in
+//! [`UvmSystem::try_run_with_hints`](crate::system::UvmSystem::try_run_with_hints)
+//! consults the policy transparently, so every experiment gains
+//! `--checkpoint-every` / `--resume` support without touching experiment
+//! code.
+//!
+//! ## Resume model
+//!
+//! A checkpoint records a [`run_key`] — the run's
+//! ordinal within the process plus digests of its workload and config.
+//! Resuming re-executes the harness *from the start*: runs before the
+//! checkpointed one replay deterministically in full (producing identical
+//! output, since the simulator is deterministic), and when a run's key
+//! matches the pending snapshot, that run restores mid-flight instead of
+//! starting fresh. The overall output is therefore byte-identical to the
+//! uninterrupted execution.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use uvm_sim::error::UvmError;
+
+use crate::snapshot::{run_key, SystemSnapshot};
+
+/// Checkpoint/resume policy, set once per process from CLI flags.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtl {
+    /// Write a checkpoint every N serviced batches (latest overwrites
+    /// earlier ones). `None` disables auto-checkpointing.
+    pub checkpoint_every: Option<u64>,
+    /// Where checkpoints are written. Defaults to `uvm-ckpt.json` in the
+    /// working directory.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from this checkpoint file (loaded eagerly so a bad file
+    /// fails fast, before any simulation runs).
+    pub resume_from: Option<PathBuf>,
+    /// Exit the process (status 0) immediately after the first checkpoint
+    /// is written. Simulates a mid-run kill for resume testing; the
+    /// partial output up to that point has already been printed.
+    pub halt_after_checkpoint: bool,
+}
+
+#[derive(Debug, Default)]
+struct CtlState {
+    ctl: RunCtl,
+    /// The pending resume snapshot; taken (once) by the run whose key
+    /// matches.
+    resume: Option<SystemSnapshot>,
+}
+
+static CTL: OnceLock<Mutex<CtlState>> = OnceLock::new();
+static ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+fn state() -> &'static Mutex<CtlState> {
+    CTL.get_or_init(|| Mutex::new(CtlState::default()))
+}
+
+/// Install the process-wide policy. Call once, before any experiment runs.
+/// When `resume_from` is set, the snapshot is loaded and validated here;
+/// an unreadable or unparsable file is an immediate error.
+pub fn configure(ctl: RunCtl) -> Result<(), UvmError> {
+    let resume = match &ctl.resume_from {
+        Some(path) => Some(SystemSnapshot::load(path)?),
+        None => None,
+    };
+    let mut s = state().lock().unwrap();
+    s.ctl = ctl;
+    s.resume = resume;
+    Ok(())
+}
+
+/// One run's view of the policy, handed out by `begin_run`.
+#[derive(Debug)]
+pub struct RunSession {
+    key: u64,
+    every: Option<u64>,
+    path: PathBuf,
+    halt: bool,
+    resume: Option<SystemSnapshot>,
+    wrote_checkpoint: bool,
+}
+
+/// Register the start of a system run and capture the policy that applies
+/// to it. Claims the next run ordinal (the deterministic re-execution
+/// order is what makes resume land on the right run) and, if the pending
+/// resume snapshot's key matches this run, takes it.
+pub(crate) fn begin_run(workload_digest: u64, config_digest: u64) -> RunSession {
+    let ordinal = ORDINAL.fetch_add(1, Ordering::SeqCst);
+    let key = run_key(ordinal, workload_digest, config_digest);
+    let mut s = state().lock().unwrap();
+    let resume = match &s.resume {
+        Some(snap) if snap.run_key == key => s.resume.take(),
+        _ => None,
+    };
+    RunSession {
+        key,
+        every: s.ctl.checkpoint_every.filter(|&n| n > 0),
+        path: s
+            .ctl
+            .checkpoint_path
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("uvm-ckpt.json")),
+        halt: s.ctl.halt_after_checkpoint,
+        resume,
+        wrote_checkpoint: false,
+    }
+}
+
+impl RunSession {
+    /// This run's key, to be stored into checkpoints it writes.
+    pub(crate) fn run_key(&self) -> u64 {
+        self.key
+    }
+
+    /// Take the resume snapshot, if one matched this run.
+    pub(crate) fn take_resume(&mut self) -> Option<SystemSnapshot> {
+        self.resume.take()
+    }
+
+    /// Whether a checkpoint is due after serviced batch `n` (1-based).
+    pub(crate) fn should_checkpoint(&self, n: u64) -> bool {
+        self.every.is_some_and(|e| n % e == 0)
+    }
+
+    /// Write `snap` to the checkpoint path (atomically, overwriting the
+    /// previous checkpoint) and honor `halt_after_checkpoint`.
+    pub(crate) fn write_checkpoint(&mut self, snap: &SystemSnapshot) {
+        if let Err(e) = snap.save(&self.path) {
+            eprintln!(
+                "warning: failed to write checkpoint {}: {e}",
+                self.path.display()
+            );
+            return;
+        }
+        self.wrote_checkpoint = true;
+        if self.halt {
+            eprintln!(
+                "checkpoint written to {} after batch {}; halting as requested",
+                self.path.display(),
+                snap.batches
+            );
+            std::process::exit(0);
+        }
+    }
+
+    /// The run completed: a checkpoint it wrote is now stale (resuming
+    /// from it would redo finished work), so remove it.
+    pub(crate) fn finish(self) {
+        if self.wrote_checkpoint {
+            std::fs::remove_file(&self.path).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the global ordinal is shared across the whole test process, so
+    // these tests assert relative behavior only and never assume a
+    // specific ordinal value.
+
+    #[test]
+    fn ordinals_are_distinct_and_keys_differ() {
+        let a = begin_run(1, 2);
+        let b = begin_run(1, 2);
+        assert_ne!(a.run_key(), b.run_key(), "same inputs, different ordinal");
+    }
+
+    #[test]
+    fn unconfigured_session_never_checkpoints() {
+        let s = begin_run(0, 0);
+        assert!(!s.should_checkpoint(1));
+        assert!(!s.should_checkpoint(50));
+        s.finish();
+    }
+}

@@ -17,21 +17,37 @@
 //!
 //! The loop is fully deterministic: same config + workload → identical
 //! batch logs, timings, and fault streams.
+//!
+//! ## Incremental execution and checkpoints
+//!
+//! The loop is exposed incrementally as well: [`UvmSystem::start`] yields a
+//! [`RunInProgress`] whose [`RunInProgress::advance_batch`] runs the event
+//! loop up to the next serviced batch. Between batches the *entire* mutable
+//! state of the simulation — GPU, driver, host OS, event queue, RNG
+//! streams, injectors — can be captured as a versioned
+//! [`SystemSnapshot`] and later restored
+//! into a new `RunInProgress` that continues bit-identically.
+//! [`UvmSystem::try_run_with_hints`] and friends are thin drivers over this
+//! interface, so batch-mode and checkpointed executions traverse exactly
+//! the same code path.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use uvm_driver::advise::MemAdvise;
 use uvm_driver::batch::{BatchRecord, FaultMeta};
 use uvm_driver::service::UvmDriver;
-use uvm_sim::error::UvmError;
-use uvm_sim::inject::{InjectionPoint, Injector};
-use uvm_sim::mem::Allocation;
 use uvm_gpu::device::{Gpu, StepOutcome};
 use uvm_hostos::host::HostMemory;
+use uvm_sim::error::UvmError;
 use uvm_sim::event::EventQueue;
+use uvm_sim::inject::{InjectionPoint, Injector};
+use uvm_sim::mem::Allocation;
+use uvm_sim::snapshot::digest_value;
 use uvm_sim::time::{SimDuration, SimTime};
 use uvm_workloads::workload::Workload;
 
 use crate::config::SystemConfig;
+use crate::runctl;
+use crate::snapshot::{SubsystemDigests, SystemSnapshot, SNAPSHOT_VERSION};
 
 /// Safety valve: a run that schedules more events than this is considered
 /// hung (it would correspond to billions of simulated faults).
@@ -91,7 +107,7 @@ impl RunResult {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Event {
     /// Advance a warp.
     WarpStep(u32),
@@ -101,7 +117,7 @@ enum Event {
     BatchDone,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Worker {
     /// Asleep; will be woken by a fault arrival interrupt.
     Idle,
@@ -131,6 +147,60 @@ pub struct UvmSystem {
     gpu: Gpu,
     driver: UvmDriver,
     host: HostMemory,
+}
+
+/// What one [`RunInProgress::advance_batch`] step accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// A fault batch was serviced; the value is the total number of
+    /// batches serviced so far (i.e. the just-finished batch is number
+    /// `n`, 1-based).
+    Batch(u64),
+    /// All kernels completed; call [`RunInProgress::into_result`].
+    Finished,
+}
+
+/// Serialized run-loop state: everything [`RunInProgress`] holds beyond the
+/// three subsystem models. Captured into the `run` tree of a
+/// [`SystemSnapshot`].
+#[derive(Debug, Serialize, Deserialize)]
+struct RunState {
+    /// Virtual clock of the event queue (time of the last popped event).
+    now: SimTime,
+    /// The queue's monotone scheduling counter (FIFO tie-break state).
+    seq: u64,
+    /// Pending events with their original sequence numbers.
+    entries: Vec<(SimTime, u64, Event)>,
+    worker: Worker,
+    kernel_spans: Vec<(SimTime, SimTime)>,
+    events: u64,
+    kernel_cursor: usize,
+    current_kernel_start: Option<SimTime>,
+    t0: SimTime,
+}
+
+/// A mid-flight system run: the event loop hoisted into a value, advanced
+/// one serviced batch at a time.
+///
+/// Obtained from [`UvmSystem::start`] (a fresh run) or
+/// [`RunInProgress::restore`] (continuing a checkpoint). The workload is
+/// *not* owned — callers pass the same `&Workload` to every method, and a
+/// restore validates the workload digest so state from one workload can
+/// never silently continue under another.
+#[derive(Debug)]
+pub struct RunInProgress {
+    system: UvmSystem,
+    queue: EventQueue<Event>,
+    worker: Worker,
+    kernel_spans: Vec<(SimTime, SimTime)>,
+    events: u64,
+    /// Index of the next kernel (in `workload.kernels()` order) to launch.
+    kernel_cursor: usize,
+    /// Launch time of the kernel currently in flight, if any.
+    current_kernel_start: Option<SimTime>,
+    /// Earliest launch time for the first kernel (end of upfront
+    /// prefetches).
+    t0: SimTime,
 }
 
 impl UvmSystem {
@@ -199,11 +269,48 @@ impl UvmSystem {
 
     /// Like [`Self::run_with_hints`], but an unrecoverable pipeline
     /// failure returns the typed [`UvmError`] instead of panicking.
+    ///
+    /// This is the path every full run takes, and it consults the
+    /// process-global [`runctl`] checkpoint policy: when auto-checkpointing
+    /// is configured the run's state is written out every N batches, and
+    /// when a matching resume snapshot is pending the run restores from it
+    /// instead of starting fresh — producing output byte-identical to the
+    /// uninterrupted run.
     pub fn try_run_with_hints(
-        mut self,
+        self,
         workload: &Workload,
         hints: &RunHints,
     ) -> Result<RunResult, UvmError> {
+        let config_digest = digest_value(&self.config.to_value());
+        let workload_digest = digest_value(&workload.to_value());
+        let mut session = runctl::begin_run(workload_digest, config_digest);
+        let mut run = match session.take_resume() {
+            Some(snap) => RunInProgress::restore(&snap, workload)?,
+            None => self.start(workload, hints)?,
+        };
+        loop {
+            match run.advance_batch(workload)? {
+                Progress::Finished => break,
+                Progress::Batch(n) => {
+                    if session.should_checkpoint(n) {
+                        session.write_checkpoint(&run.snapshot(workload, session.run_key()));
+                    }
+                }
+            }
+        }
+        session.finish();
+        Ok(run.into_result(workload))
+    }
+
+    /// Begin an incremental run: apply allocations, CPU initialization,
+    /// hints and upfront prefetches, launch the first kernel, and return
+    /// the paused event loop. Drive it with
+    /// [`RunInProgress::advance_batch`].
+    pub fn start(
+        mut self,
+        workload: &Workload,
+        hints: &RunHints,
+    ) -> Result<RunInProgress, UvmError> {
         // Register managed allocations, then replay CPU-side
         // initialization (first-touch mapping + host-data tracking).
         for alloc in &workload.allocations {
@@ -216,148 +323,24 @@ impl UvmSystem {
             self.driver.set_advise(alloc, *advise);
         }
 
-        let mut queue: EventQueue<Event> = EventQueue::with_capacity(workload.num_warps() * 2);
-        let mut worker = Worker::Idle;
-        let mut kernel_spans = Vec::new();
-        let mut events = 0u64;
-
         // Explicit prefetches run (synchronously) before the first launch.
         let mut t0 = SimTime::ZERO;
         for alloc in &hints.prefetch {
             t0 = self.driver.prefetch_async(alloc, &mut self.gpu, &mut self.host, t0)?;
         }
 
-        // Kernels launch sequentially: each waits for the previous one to
-        // complete and for the driver to go idle (the implicit stream
-        // synchronization between dependent launches).
-        for range in workload.kernels() {
-            let start = queue.now().max(t0);
-            for wid in self.gpu.launch(workload.programs[range].to_vec()) {
-                queue.schedule(start, Event::WarpStep(wid));
-            }
-            self.drain_events(&mut queue, &mut worker, &mut events)?;
-            kernel_spans.push((start, self.gpu.kernel_end));
-        }
-
-        assert!(
-            self.gpu.all_done(),
-            "event queue drained with {} of {} warps unfinished",
-            self.gpu.num_warps() - self.gpu.warps_done(),
-            self.gpu.num_warps()
-        );
-
-        Ok(RunResult {
-            workload: workload.name.clone(),
-            kernel_time: self.gpu.kernel_end - SimTime::ZERO,
-            total_batch_time: self.driver.total_batch_time(),
-            num_batches: self.driver.num_batches(),
-            replays: self.gpu.replays,
-            flush_drops: self.gpu.fault_buffer.flush_drops() + self.gpu.gmmu.flush_discards(),
-            overflow_drops: self.gpu.fault_buffer.overflow_drops(),
-            total_faults_inserted: self.gpu.fault_buffer.total_inserted(),
-            evictions: self.driver.memory().evictions(),
-            unmap_calls: self.host.unmap_calls(),
-            records: std::mem::take(&mut self.driver.records),
-            fault_log: std::mem::take(&mut self.driver.fault_log),
-            upfront_copy_time: SimDuration::ZERO,
-            kernel_spans,
-        })
-    }
-
-    /// Process events until the system quiesces (all launched warps done,
-    /// no pending events). `Err` aborts the run with the servicing
-    /// pipeline's unrecoverable failure.
-    fn drain_events(
-        &mut self,
-        queue: &mut EventQueue<Event>,
-        worker: &mut Worker,
-        events: &mut u64,
-    ) -> Result<(), UvmError> {
-        while let Some((now, event)) = queue.pop() {
-            *events += 1;
-            assert!(
-                *events <= MAX_EVENTS,
-                "simulation exceeded {MAX_EVENTS} events ({} warps done of {}, {} batches)",
-                self.gpu.warps_done(),
-                self.gpu.num_warps(),
-                self.driver.num_batches()
-            );
-            match event {
-                Event::WarpStep(wid) => {
-                    match self.gpu.step_warp(wid, now) {
-                        StepOutcome::Continue { at } => queue.schedule(at, Event::WarpStep(wid)),
-                        StepOutcome::Blocked => {}
-                        StepOutcome::Finished { at, activated } => {
-                            if let Some(next) = activated {
-                                queue.schedule(at, Event::WarpStep(next));
-                            }
-                        }
-                    }
-                    self.drain_and_wake(queue, worker, now);
-                }
-                Event::DriverCheck => {
-                    // Ignore stale checks superseded by an earlier wake or
-                    // overtaken by a batch already in service.
-                    if *worker != Worker::CheckScheduled(now) {
-                        continue;
-                    }
-                    *worker = Worker::Idle;
-                    self.gpu.drain_faults();
-                    // The driver's read loop races with fault insertion: it
-                    // keeps reading "until the batch size limit is reached
-                    // or no faults remain in the buffer" (Sec. 2.2), and
-                    // reading itself takes time during which more faults
-                    // arrive. Model it as an iterative fetch whose deadline
-                    // advances by the per-fault fetch cost.
-                    let limit = self.config.policy.batch_limit;
-                    let mut batch = Vec::with_capacity(limit);
-                    let mut deadline = now;
-                    loop {
-                        let got = self.gpu.fault_buffer.fetch(limit - batch.len(), deadline);
-                        if got.is_empty() {
-                            break;
-                        }
-                        deadline += self.config.cost.fetch_per_fault * got.len() as u64;
-                        batch.extend(got);
-                        if batch.len() >= limit {
-                            break;
-                        }
-                    }
-                    if batch.is_empty() {
-                        // Entries exist but have not arrived yet: re-check
-                        // at the earliest arrival.
-                        if let Some(arr) = self.gpu.fault_buffer.earliest_arrival() {
-                            let at = arr.max(now);
-                            *worker = Worker::CheckScheduled(at);
-                            queue.schedule(at, Event::DriverCheck);
-                        }
-                    } else {
-                        let rec =
-                            self.driver
-                                .service_batch(&batch, &mut self.gpu, &mut self.host, now)?;
-                        let end = rec.end;
-                        *worker = Worker::Busy;
-                        queue.schedule(end, Event::BatchDone);
-                    }
-                }
-                Event::BatchDone => {
-                    debug_assert_eq!(*worker, Worker::Busy);
-                    *worker = Worker::Idle;
-                    // Flush the buffer (and in-flight GMMU entries), then
-                    // replay: stalled warps wake once the replay reaches
-                    // the GPU. (Flushing is the stock policy; the ablation
-                    // keeps stale entries, which later batches then fetch.)
-                    if self.config.policy.flush_on_replay {
-                        self.gpu.flush();
-                    }
-                    let replay_done = now + self.config.cost.replay_latency;
-                    for (wid, wake) in self.gpu.replay(replay_done) {
-                        queue.schedule(wake, Event::WarpStep(wid));
-                    }
-                }
-            }
-        }
-        Ok(())
+        let mut run = RunInProgress {
+            system: self,
+            queue: EventQueue::with_capacity(workload.num_warps() * 2),
+            worker: Worker::Idle,
+            kernel_spans: Vec::new(),
+            events: 0,
+            kernel_cursor: 0,
+            current_kernel_start: None,
+            t0,
+        };
+        run.launch_next_kernel(workload);
+        Ok(run)
     }
 
     /// The explicit-management baseline (Fig. 1's comparison point): the
@@ -462,6 +445,295 @@ impl UvmSystem {
                 _ => {}
             }
         }
+    }
+}
+
+impl RunInProgress {
+    /// Launch the next sequential kernel, if any. Kernels launch
+    /// sequentially: each waits for the previous one to complete and for
+    /// the driver to go idle (the implicit stream synchronization between
+    /// dependent launches).
+    fn launch_next_kernel(&mut self, workload: &Workload) -> bool {
+        let kernels = workload.kernels();
+        if self.kernel_cursor >= kernels.len() {
+            return false;
+        }
+        let range = kernels[self.kernel_cursor].clone();
+        self.kernel_cursor += 1;
+        let start = self.queue.now().max(self.t0);
+        for wid in self.system.gpu.launch(workload.programs[range].to_vec()) {
+            self.queue.schedule(start, Event::WarpStep(wid));
+        }
+        self.current_kernel_start = Some(start);
+        true
+    }
+
+    /// Process events until the next fault batch has been serviced (its
+    /// `BatchDone` is then pending in the queue) or the run finishes.
+    /// `Err` aborts the run with the servicing pipeline's unrecoverable
+    /// failure.
+    pub fn advance_batch(&mut self, workload: &Workload) -> Result<Progress, UvmError> {
+        loop {
+            while let Some((now, event)) = self.queue.pop() {
+                self.events += 1;
+                assert!(
+                    self.events <= MAX_EVENTS,
+                    "simulation exceeded {MAX_EVENTS} events ({} warps done of {}, {} batches)",
+                    self.system.gpu.warps_done(),
+                    self.system.gpu.num_warps(),
+                    self.system.driver.num_batches()
+                );
+                match event {
+                    Event::WarpStep(wid) => {
+                        match self.system.gpu.step_warp(wid, now) {
+                            StepOutcome::Continue { at } => {
+                                self.queue.schedule(at, Event::WarpStep(wid))
+                            }
+                            StepOutcome::Blocked => {}
+                            StepOutcome::Finished { at, activated } => {
+                                if let Some(next) = activated {
+                                    self.queue.schedule(at, Event::WarpStep(next));
+                                }
+                            }
+                        }
+                        self.system.drain_and_wake(&mut self.queue, &mut self.worker, now);
+                    }
+                    Event::DriverCheck => {
+                        // Ignore stale checks superseded by an earlier wake
+                        // or overtaken by a batch already in service.
+                        if self.worker != Worker::CheckScheduled(now) {
+                            continue;
+                        }
+                        self.worker = Worker::Idle;
+                        self.system.gpu.drain_faults();
+                        // The driver's read loop races with fault insertion:
+                        // it keeps reading "until the batch size limit is
+                        // reached or no faults remain in the buffer"
+                        // (Sec. 2.2), and reading itself takes time during
+                        // which more faults arrive. Model it as an iterative
+                        // fetch whose deadline advances by the per-fault
+                        // fetch cost.
+                        let limit = self.system.config.policy.batch_limit;
+                        let mut batch = Vec::with_capacity(limit);
+                        let mut deadline = now;
+                        loop {
+                            let got =
+                                self.system.gpu.fault_buffer.fetch(limit - batch.len(), deadline);
+                            if got.is_empty() {
+                                break;
+                            }
+                            deadline += self.system.config.cost.fetch_per_fault * got.len() as u64;
+                            batch.extend(got);
+                            if batch.len() >= limit {
+                                break;
+                            }
+                        }
+                        if batch.is_empty() {
+                            // Entries exist but have not arrived yet:
+                            // re-check at the earliest arrival.
+                            if let Some(arr) = self.system.gpu.fault_buffer.earliest_arrival() {
+                                let at = arr.max(now);
+                                self.worker = Worker::CheckScheduled(at);
+                                self.queue.schedule(at, Event::DriverCheck);
+                            }
+                        } else {
+                            let rec = self.system.driver.service_batch(
+                                &batch,
+                                &mut self.system.gpu,
+                                &mut self.system.host,
+                                now,
+                            )?;
+                            let end = rec.end;
+                            self.worker = Worker::Busy;
+                            self.queue.schedule(end, Event::BatchDone);
+                            // Pause between batches: this is the checkpoint
+                            // boundary. All in-flight work is represented in
+                            // the queue (the pending BatchDone) and the
+                            // subsystem states, so a snapshot taken here
+                            // captures a resumable instant.
+                            return Ok(Progress::Batch(self.system.driver.num_batches()));
+                        }
+                    }
+                    Event::BatchDone => {
+                        debug_assert_eq!(self.worker, Worker::Busy);
+                        self.worker = Worker::Idle;
+                        // Flush the buffer (and in-flight GMMU entries),
+                        // then replay: stalled warps wake once the replay
+                        // reaches the GPU. (Flushing is the stock policy;
+                        // the ablation keeps stale entries, which later
+                        // batches then fetch.)
+                        if self.system.config.policy.flush_on_replay {
+                            self.system.gpu.flush();
+                        }
+                        let replay_done = now + self.system.config.cost.replay_latency;
+                        for (wid, wake) in self.system.gpu.replay(replay_done) {
+                            self.queue.schedule(wake, Event::WarpStep(wid));
+                        }
+                    }
+                }
+            }
+            // Queue drained: the in-flight kernel (if any) completed.
+            if let Some(start) = self.current_kernel_start.take() {
+                self.kernel_spans.push((start, self.system.gpu.kernel_end));
+            }
+            if !self.launch_next_kernel(workload) {
+                return Ok(Progress::Finished);
+            }
+        }
+    }
+
+    /// Number of batches serviced so far.
+    pub fn batches(&self) -> u64 {
+        self.system.driver.num_batches()
+    }
+
+    /// Finish the run: consume the paused loop and produce the
+    /// [`RunResult`]. Call only after [`Self::advance_batch`] returned
+    /// [`Progress::Finished`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if warps are still unfinished (the run was not driven to
+    /// completion).
+    pub fn into_result(mut self, workload: &Workload) -> RunResult {
+        assert!(
+            self.system.gpu.all_done(),
+            "event queue drained with {} of {} warps unfinished",
+            self.system.gpu.num_warps() - self.system.gpu.warps_done(),
+            self.system.gpu.num_warps()
+        );
+        RunResult {
+            workload: workload.name.clone(),
+            kernel_time: self.system.gpu.kernel_end - SimTime::ZERO,
+            total_batch_time: self.system.driver.total_batch_time(),
+            num_batches: self.system.driver.num_batches(),
+            replays: self.system.gpu.replays,
+            flush_drops: self.system.gpu.fault_buffer.flush_drops()
+                + self.system.gpu.gmmu.flush_discards(),
+            overflow_drops: self.system.gpu.fault_buffer.overflow_drops(),
+            total_faults_inserted: self.system.gpu.fault_buffer.total_inserted(),
+            evictions: self.system.driver.memory().evictions(),
+            unmap_calls: self.system.host.unmap_calls(),
+            records: std::mem::take(&mut self.system.driver.records),
+            fault_log: std::mem::take(&mut self.system.driver.fault_log),
+            upfront_copy_time: SimDuration::ZERO,
+            kernel_spans: self.kernel_spans,
+        }
+    }
+
+    /// Serialize the run-loop state (queue, worker, kernel progress).
+    fn run_state_value(&self) -> Value {
+        RunState {
+            now: self.queue.now(),
+            seq: self.queue.seq(),
+            entries: self.queue.snapshot_entries(),
+            worker: self.worker,
+            kernel_spans: self.kernel_spans.clone(),
+            events: self.events,
+            kernel_cursor: self.kernel_cursor,
+            current_kernel_start: self.current_kernel_start,
+            t0: self.t0,
+        }
+        .to_value()
+    }
+
+    /// FNV-1a digests of the four serialized state trees. Two runs whose
+    /// digests agree after every batch are in bit-identical states; the
+    /// first disagreeing digest names the subsystem that diverged.
+    pub fn subsystem_digests(&self) -> SubsystemDigests {
+        SubsystemDigests {
+            gpu: digest_value(&self.system.gpu.to_value()),
+            driver: digest_value(&self.system.driver.to_value()),
+            host: digest_value(&self.system.host.to_value()),
+            run: digest_value(&self.run_state_value()),
+        }
+    }
+
+    /// Capture the complete system state as a versioned checkpoint.
+    /// `run_key` identifies this run within its harness process (see
+    /// [`crate::snapshot::run_key`]); pass 0 for standalone snapshots.
+    pub fn snapshot(&self, workload: &Workload, run_key: u64) -> SystemSnapshot {
+        let gpu = self.system.gpu.to_value();
+        let driver = self.system.driver.to_value();
+        let host = self.system.host.to_value();
+        let run = self.run_state_value();
+        let digests = SubsystemDigests {
+            gpu: digest_value(&gpu),
+            driver: digest_value(&driver),
+            host: digest_value(&host),
+            run: digest_value(&run),
+        };
+        SystemSnapshot {
+            version: SNAPSHOT_VERSION,
+            run_key,
+            batches: self.batches(),
+            workload_name: workload.name.clone(),
+            workload_digest: digest_value(&workload.to_value()),
+            config: self.system.config.to_value(),
+            gpu,
+            driver,
+            host,
+            run,
+            digests,
+        }
+    }
+
+    /// Rebuild a paused run from a checkpoint. Validates the format
+    /// version, the stored per-subsystem digests (integrity), and that
+    /// `workload` is byte-identical to the one the checkpoint was taken
+    /// against; the restored run then continues exactly where the
+    /// snapshotted one stopped, producing bit-identical results.
+    pub fn restore(snap: &SystemSnapshot, workload: &Workload) -> Result<Self, UvmError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(UvmError::SnapshotInvalid {
+                detail: format!(
+                    "format version {} (this build reads version {})",
+                    snap.version, SNAPSHOT_VERSION
+                ),
+            });
+        }
+        snap.verify_integrity()?;
+        let workload_digest = digest_value(&workload.to_value());
+        if workload_digest != snap.workload_digest {
+            return Err(UvmError::SnapshotInvalid {
+                detail: format!(
+                    "checkpoint was taken against workload `{}` (digest {:#018x}), \
+                     got digest {:#018x}",
+                    snap.workload_name, snap.workload_digest, workload_digest
+                ),
+            });
+        }
+        let invalid = |what: &str, e: serde::DeError| UvmError::SnapshotInvalid {
+            detail: format!("malformed {what} state: {e}"),
+        };
+        let config =
+            SystemConfig::from_value(&snap.config).map_err(|e| invalid("config", e))?;
+        let gpu = Gpu::from_value(&snap.gpu).map_err(|e| invalid("gpu", e))?;
+        let driver = UvmDriver::from_value(&snap.driver).map_err(|e| invalid("driver", e))?;
+        let host = HostMemory::from_value(&snap.host).map_err(|e| invalid("host", e))?;
+        let run = RunState::from_value(&snap.run).map_err(|e| invalid("run", e))?;
+        Ok(RunInProgress {
+            system: UvmSystem {
+                config,
+                gpu,
+                driver,
+                host,
+            },
+            queue: EventQueue::restore(run.now, run.seq, run.entries),
+            worker: run.worker,
+            kernel_spans: run.kernel_spans,
+            events: run.events,
+            kernel_cursor: run.kernel_cursor,
+            current_kernel_start: run.current_kernel_start,
+            t0: run.t0,
+        })
+    }
+
+    /// Divergence-demo hook: burn one draw from the driver's jitter RNG,
+    /// modelling a bug that consumes randomness on one side of a lockstep
+    /// pair. See [`uvm_driver::service::UvmDriver::perturb_rng`].
+    pub fn perturb_driver_rng(&mut self) {
+        self.system.driver.perturb_rng();
     }
 }
 
@@ -785,5 +1057,128 @@ mod tests {
                 assert!(pair[0].arrival <= pair[1].arrival);
             }
         }
+    }
+
+    // ---- checkpoint / restore ----
+
+    fn ckpt_workload() -> Workload {
+        stream::build(StreamParams {
+            warps: 32,
+            pages_per_warp: 16,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: Some(CpuInitPolicy::Striped { threads: 8 }),
+        })
+    }
+
+    fn result_json(r: &RunResult) -> String {
+        serde_json::to_string(r).unwrap()
+    }
+
+    #[test]
+    fn incremental_run_matches_monolithic_run() {
+        let w = ckpt_workload();
+        let straight = UvmSystem::new(SystemConfig::test_small(16 * MB)).run(&w);
+        let mut run = UvmSystem::new(SystemConfig::test_small(16 * MB))
+            .start(&w, &RunHints::default())
+            .unwrap();
+        while run.advance_batch(&w).unwrap() != Progress::Finished {}
+        let stepped = run.into_result(&w);
+        assert_eq!(result_json(&straight), result_json(&stepped));
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let w = ckpt_workload();
+        let straight = UvmSystem::new(SystemConfig::test_small(16 * MB)).run(&w);
+
+        let mut run = UvmSystem::new(SystemConfig::test_small(16 * MB))
+            .start(&w, &RunHints::default())
+            .unwrap();
+        // Advance past a few batches, snapshot, and throw the original away.
+        for _ in 0..5 {
+            assert!(matches!(run.advance_batch(&w).unwrap(), Progress::Batch(_)));
+        }
+        let snap = run.snapshot(&w, 0);
+        assert_eq!(snap.batches, 5);
+        drop(run);
+
+        let mut resumed = RunInProgress::restore(&snap, &w).unwrap();
+        while resumed.advance_batch(&w).unwrap() != Progress::Finished {}
+        let result = resumed.into_result(&w);
+        assert_eq!(
+            result_json(&straight),
+            result_json(&result),
+            "restored run must be byte-identical to the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let w = ckpt_workload();
+        let mut run = UvmSystem::new(SystemConfig::test_small(16 * MB))
+            .start(&w, &RunHints::default())
+            .unwrap();
+        for _ in 0..3 {
+            run.advance_batch(&w).unwrap();
+        }
+        let snap = run.snapshot(&w, 42);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SystemSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.run_key, 42);
+        assert_eq!(back.digests, snap.digests);
+        back.verify_integrity().unwrap();
+        // The restored instance digests identically to the live one.
+        let restored = RunInProgress::restore(&back, &w).unwrap();
+        assert_eq!(restored.subsystem_digests(), run.subsystem_digests());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_workload_and_version() {
+        let w = ckpt_workload();
+        let mut run = UvmSystem::new(SystemConfig::test_small(16 * MB))
+            .start(&w, &RunHints::default())
+            .unwrap();
+        run.advance_batch(&w).unwrap();
+        let snap = run.snapshot(&w, 0);
+
+        // A different workload must be rejected by digest.
+        let other = vecadd::build(VecAddParams::default());
+        let err = RunInProgress::restore(&snap, &other).unwrap_err();
+        assert!(matches!(err, UvmError::SnapshotInvalid { .. }));
+
+        // A future format version must be rejected.
+        let mut wrong = snap.clone();
+        wrong.version += 1;
+        let err = RunInProgress::restore(&wrong, &w).unwrap_err();
+        assert!(matches!(err, UvmError::SnapshotInvalid { .. }));
+
+        // A tampered state tree must fail the integrity check.
+        let mut tampered = snap.clone();
+        tampered.gpu = Value::Null;
+        let err = RunInProgress::restore(&tampered, &w).unwrap_err();
+        assert!(matches!(err, UvmError::SnapshotInvalid { .. }));
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_injected_run() {
+        use uvm_sim::inject::FaultPlan;
+        // Injection exercises every serialized RNG stream and injector:
+        // a restored run must replay the identical failure schedule.
+        let w = ckpt_workload();
+        let mk_c = || {
+            SystemConfig::test_small(16 * MB).with_fault_plan(FaultPlan::uniform(0.05))
+        };
+        let straight = UvmSystem::new(mk_c()).try_run(&w).unwrap();
+
+        let mut run = UvmSystem::new(mk_c()).start(&w, &RunHints::default()).unwrap();
+        for _ in 0..7 {
+            assert!(matches!(run.advance_batch(&w).unwrap(), Progress::Batch(_)));
+        }
+        let snap = run.snapshot(&w, 0);
+        let mut resumed = RunInProgress::restore(&snap, &w).unwrap();
+        while resumed.advance_batch(&w).unwrap() != Progress::Finished {}
+        let result = resumed.into_result(&w);
+        assert_eq!(result_json(&straight), result_json(&result));
     }
 }

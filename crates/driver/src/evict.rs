@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::error::UvmError;
 use uvm_sim::mem::VaBlockId;
 
@@ -25,7 +26,7 @@ pub enum EvictOutcome {
 }
 
 /// The GPU physical-memory manager.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct GpuMemoryManager {
     capacity_blocks: u64,
     /// Resident blocks → the LRU key (migration sequence number).
@@ -131,57 +132,60 @@ mod tests {
     use super::*;
 
     #[test]
-    fn allocates_until_full_then_evicts_lru() {
+    fn allocates_until_full_then_evicts_lru() -> Result<(), UvmError> {
         let mut mm = GpuMemoryManager::new(3);
-        assert_eq!(mm.ensure_resident(VaBlockId(1), 1).unwrap(), EvictOutcome::Allocated);
-        assert_eq!(mm.ensure_resident(VaBlockId(2), 2).unwrap(), EvictOutcome::Allocated);
-        assert_eq!(mm.ensure_resident(VaBlockId(3), 3).unwrap(), EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(1), 1)?, EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(2), 2)?, EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(3), 3)?, EvictOutcome::Allocated);
         // Full: block 1 is LRU.
         assert_eq!(
-            mm.ensure_resident(VaBlockId(4), 4).unwrap(),
+            mm.ensure_resident(VaBlockId(4), 4)?,
             EvictOutcome::Evicted(vec![VaBlockId(1)])
         );
         assert!(!mm.is_resident(VaBlockId(1)));
         assert!(mm.is_resident(VaBlockId(4)));
         assert_eq!(mm.evictions(), 1);
+        Ok(())
     }
 
     #[test]
-    fn touch_refreshes_lru_order() {
+    fn touch_refreshes_lru_order() -> Result<(), UvmError> {
         let mut mm = GpuMemoryManager::new(2);
-        mm.ensure_resident(VaBlockId(1), 1).unwrap();
-        mm.ensure_resident(VaBlockId(2), 2).unwrap();
+        mm.ensure_resident(VaBlockId(1), 1)?;
+        mm.ensure_resident(VaBlockId(2), 2)?;
         mm.touch(VaBlockId(1), 3); // block 1 now most recent
         assert_eq!(
-            mm.ensure_resident(VaBlockId(3), 4).unwrap(),
+            mm.ensure_resident(VaBlockId(3), 4)?,
             EvictOutcome::Evicted(vec![VaBlockId(2)])
         );
+        Ok(())
     }
 
     #[test]
-    fn already_resident_refreshes_key() {
+    fn already_resident_refreshes_key() -> Result<(), UvmError> {
         let mut mm = GpuMemoryManager::new(2);
-        mm.ensure_resident(VaBlockId(1), 1).unwrap();
-        mm.ensure_resident(VaBlockId(2), 2).unwrap();
-        assert_eq!(mm.ensure_resident(VaBlockId(1), 3).unwrap(), EvictOutcome::AlreadyResident);
+        mm.ensure_resident(VaBlockId(1), 1)?;
+        mm.ensure_resident(VaBlockId(2), 2)?;
+        assert_eq!(mm.ensure_resident(VaBlockId(1), 3)?, EvictOutcome::AlreadyResident);
         // Block 2 is now LRU.
         assert_eq!(
-            mm.ensure_resident(VaBlockId(9), 4).unwrap(),
+            mm.ensure_resident(VaBlockId(9), 4)?,
             EvictOutcome::Evicted(vec![VaBlockId(2)])
         );
+        Ok(())
     }
 
     #[test]
-    fn eviction_order_is_earliest_allocated_without_touches() {
+    fn eviction_order_is_earliest_allocated_without_touches() -> Result<(), UvmError> {
         // The Sec. 5.4 observation: with no hit information, LRU degrades
         // to allocation order.
         let mut mm = GpuMemoryManager::new(4);
         for i in 1..=4u64 {
-            mm.ensure_resident(VaBlockId(i), i).unwrap();
+            mm.ensure_resident(VaBlockId(i), i)?;
         }
         let mut evicted = Vec::new();
         for i in 5..=8u64 {
-            if let EvictOutcome::Evicted(v) = mm.ensure_resident(VaBlockId(i), i).unwrap() {
+            if let EvictOutcome::Evicted(v) = mm.ensure_resident(VaBlockId(i), i)? {
                 evicted.extend(v);
             }
         }
@@ -189,16 +193,18 @@ mod tests {
             evicted,
             vec![VaBlockId(1), VaBlockId(2), VaBlockId(3), VaBlockId(4)]
         );
+        Ok(())
     }
 
     #[test]
-    fn release_frees_without_counting_eviction() {
+    fn release_frees_without_counting_eviction() -> Result<(), UvmError> {
         let mut mm = GpuMemoryManager::new(1);
-        mm.ensure_resident(VaBlockId(1), 1).unwrap();
+        mm.ensure_resident(VaBlockId(1), 1)?;
         mm.release(VaBlockId(1));
         assert_eq!(mm.resident_blocks(), 0);
         assert_eq!(mm.evictions(), 0);
-        assert_eq!(mm.ensure_resident(VaBlockId(2), 2).unwrap(), EvictOutcome::Allocated);
+        assert_eq!(mm.ensure_resident(VaBlockId(2), 2)?, EvictOutcome::Allocated);
+        Ok(())
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
+use serde::{Deserialize, Serialize};
 use uvm_gpu::device::Gpu;
 use uvm_gpu::fault::{AccessKind, FaultRecord};
 use uvm_hostos::dma::DmaSpace;
@@ -42,7 +43,12 @@ use crate::va_space::VaSpace;
 
 /// The UVM driver: policy, managed-memory registry, GPU memory manager,
 /// DMA space, and the batch log.
-#[derive(Debug)]
+///
+/// The driver is fully serializable: a snapshot captures the VA-space and
+/// VABlock trees, the eviction LRU, the DMA space (including the reverse
+/// radix tree), the jitter RNG mid-stream, both driver-owned injectors, and
+/// the complete batch log, so a restored driver continues bit-identically.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct UvmDriver {
     policy: DriverPolicy,
     cost: CostModel,
@@ -111,6 +117,15 @@ impl UvmDriver {
     /// charged to the batch record. Pure policy — no RNG.
     fn backoff(&self, attempt: u32) -> SimDuration {
         self.policy.retry_backoff * (1u64 << attempt.min(20))
+    }
+
+    /// Burn one draw from the driver's jitter RNG, silently knocking the
+    /// stream out of phase with an identically-seeded driver. This is a
+    /// divergence-demo hook: it models the class of bug the lockstep
+    /// detector exists to catch (a code path consuming randomness it
+    /// shouldn't), and has no other effect on driver state.
+    pub fn perturb_rng(&mut self) {
+        let _ = self.rng.unit();
     }
 
     /// Register a managed allocation (the `cudaMallocManaged` entry point).
@@ -716,7 +731,7 @@ mod tests {
     }
 
     #[test]
-    fn simple_batch_migrates_faulted_pages() {
+    fn simple_batch_migrates_faulted_pages() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
@@ -726,7 +741,7 @@ mod tests {
         }
 
         let faults: Vec<_> = (0..10).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(1000)).unwrap();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(1000))?;
         assert_eq!(rec.raw_faults, 10);
         assert_eq!(rec.unique_pages, 10);
         assert_eq!(rec.pages_migrated, 10);
@@ -738,10 +753,11 @@ mod tests {
         assert!(gpu.is_resident(alloc.page(9)));
         assert!(!gpu.is_resident(alloc.page(10)));
         assert!(rec.end > rec.start);
+        Ok(())
     }
 
     #[test]
-    fn untouched_pages_migrate_without_transfer() {
+    fn untouched_pages_migrate_without_transfer() -> Result<(), UvmError> {
         // Pages never written by the CPU have no host data: the driver
         // populates them directly on the GPU, moving zero bytes.
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
@@ -749,31 +765,33 @@ mod tests {
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
         let faults: Vec<_> = (0..10).map(|i| fault(alloc.page(i), 0, AccessKind::Write)).collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0))?;
         assert_eq!(rec.pages_migrated, 10);
         assert_eq!(rec.bytes_migrated, 0, "no host data, nothing to transfer");
         assert_eq!(rec.t_transfer, SimDuration::ZERO);
         assert!(rec.t_populate > SimDuration::ZERO);
         assert!(gpu.is_resident(alloc.page(0)));
+        Ok(())
     }
 
     #[test]
-    fn second_batch_same_block_skips_dma_setup() {
+    fn second_batch_same_block_skips_dma_setup() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
 
         let f1: Vec<_> = (0..4).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0)).unwrap();
+        driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0))?;
         let f2: Vec<_> = (4..8).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let rec = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000)).unwrap();
+        let rec = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000))?;
         assert_eq!(rec.new_va_blocks, 0);
         assert_eq!(rec.t_dma_setup, SimDuration::ZERO);
+        Ok(())
     }
 
     #[test]
-    fn duplicates_counted_but_not_migrated() {
+    fn duplicates_counted_but_not_migrated() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
@@ -785,16 +803,17 @@ mod tests {
             fault(p, 0, AccessKind::Read), // type 1
             fault(p, 2, AccessKind::Read), // type 2
         ];
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0))?;
         assert_eq!(rec.raw_faults, 3);
         assert_eq!(rec.unique_pages, 1);
         assert_eq!(rec.dup_same_utlb, 1);
         assert_eq!(rec.dup_cross_utlb, 1);
         assert_eq!(rec.pages_migrated, 1);
+        Ok(())
     }
 
     #[test]
-    fn cpu_resident_block_pays_unmap_once() {
+    fn cpu_resident_block_pays_unmap_once() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
@@ -805,18 +824,19 @@ mod tests {
         }
 
         let f1 = vec![fault(alloc.page(0), 0, AccessKind::Read)];
-        let r1 = driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0)).unwrap().clone();
+        let r1 = driver.service_batch(&f1, &mut gpu, &mut host, SimTime(0))?.clone();
         assert_eq!(r1.cpu_pages_unmapped, 100, "whole block range unmapped");
         assert!(r1.t_unmap > SimDuration::ZERO);
 
         let f2 = vec![fault(alloc.page(1), 0, AccessKind::Read)];
-        let r2 = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000)).unwrap().clone();
+        let r2 = driver.service_batch(&f2, &mut gpu, &mut host, SimTime(1_000_000))?.clone();
         assert_eq!(r2.cpu_pages_unmapped, 0, "second touch pays no unmap");
         assert_eq!(r2.t_unmap, SimDuration::ZERO);
+        Ok(())
     }
 
     #[test]
-    fn multithreaded_init_inflates_unmap_cost() {
+    fn multithreaded_init_inflates_unmap_cost() -> Result<(), UvmError> {
         // Fig. 11: same pages, same faults — more mapper cores, higher cost.
         let run = |threads: u32| {
             let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
@@ -827,15 +847,16 @@ mod tests {
                 driver.cpu_touch(&mut host, alloc.page(i), (i as u32) % threads, true);
             }
             let f = vec![fault(alloc.page(0), 0, AccessKind::Read)];
-            driver.service_batch(&f, &mut gpu, &mut host, SimTime(0)).unwrap().t_unmap
+            Ok::<_, UvmError>(driver.service_batch(&f, &mut gpu, &mut host, SimTime(0))?.t_unmap)
         };
-        let single = run(1);
-        let multi = run(32);
+        let single = run(1)?;
+        let multi = run(32)?;
         assert!(multi > single * 2, "single {single}, multi {multi}");
+        Ok(())
     }
 
     #[test]
-    fn oversubscription_evicts_lru_block() {
+    fn oversubscription_evicts_lru_block() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(2, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(3 * VABLOCK_SIZE);
@@ -845,7 +866,7 @@ mod tests {
         // Touch blocks 0, 1, then 2: block 0 must be evicted.
         for (i, &b) in blocks.iter().enumerate() {
             let f = vec![fault(b.first_page(), 0, AccessKind::Read)];
-            let rec = driver.service_batch(&f, &mut gpu, &mut host, SimTime(i as u64 * 1_000_000)).unwrap();
+            let rec = driver.service_batch(&f, &mut gpu, &mut host, SimTime(i as u64 * 1_000_000))?;
             if i < 2 {
                 assert_eq!(rec.evictions, 0);
             } else {
@@ -857,10 +878,11 @@ mod tests {
         assert!(!gpu.is_resident(blocks[0].first_page()));
         assert!(gpu.is_resident(blocks[2].first_page()));
         assert_eq!(driver.va_space.block(blocks[0]).evict_count, 1);
+        Ok(())
     }
 
     #[test]
-    fn re_migration_after_eviction_skips_unmap() {
+    fn re_migration_after_eviction_skips_unmap() -> Result<(), UvmError> {
         // Fig. 13's cost levels: the first migration pays unmap; after an
         // eviction, re-migration does not (data is in host RAM, unmapped).
         let (mut driver, mut gpu, mut host) = setup(1, DriverPolicy::default());
@@ -875,23 +897,24 @@ mod tests {
         // Migrate block 0 (pays unmap), then block 1 (evicts 0, pays its
         // own unmap), then block 0 again (evicts 1, NO unmap).
         let r0 = driver
-            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap()
+            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))?
             .clone();
         let r1 = driver
-            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000)).unwrap()
+            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))?
             .clone();
         let r2 = driver
-            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(2_000_000)).unwrap()
+            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(2_000_000))?
             .clone();
         assert!(r0.t_unmap > SimDuration::ZERO);
         assert!(r1.t_unmap > SimDuration::ZERO);
         assert_eq!(r1.evictions, 1);
         assert_eq!(r2.evictions, 1);
         assert_eq!(r2.t_unmap, SimDuration::ZERO, "re-migration skips unmap");
+        Ok(())
     }
 
     #[test]
-    fn prefetch_expands_dense_faults() {
+    fn prefetch_expands_dense_faults() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::with_prefetch());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
@@ -899,27 +922,29 @@ mod tests {
 
         // 12 of the first 16 pages fault: the 64 KiB leaf upgrades.
         let faults: Vec<_> = (0..12).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0))?;
         assert_eq!(rec.prefetched_pages, 4);
         assert_eq!(rec.pages_migrated, 16);
         assert!(gpu.is_resident(alloc.page(15)));
+        Ok(())
     }
 
     #[test]
-    fn prefetch_disabled_migrates_only_faulted() {
+    fn prefetch_disabled_migrates_only_faulted() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
         let faults: Vec<_> = (0..12).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0))?;
         assert_eq!(rec.prefetched_pages, 0);
         assert_eq!(rec.pages_migrated, 12);
         assert!(!gpu.is_resident(alloc.page(15)));
+        Ok(())
     }
 
     #[test]
-    fn transfer_is_minority_of_batch_time() {
+    fn transfer_is_minority_of_batch_time() -> Result<(), UvmError> {
         // Fig. 7: transfer at most ~25% of batch time.
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
@@ -932,16 +957,17 @@ mod tests {
         let faults: Vec<_> = (0..200)
             .map(|i| fault(alloc.page(i * 10), (i % 4) as u32, AccessKind::Read))
             .collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0))?;
         assert!(
             rec.transfer_fraction() < 0.30,
             "transfer fraction {}",
             rec.transfer_fraction()
         );
+        Ok(())
     }
 
     #[test]
-    fn fault_metadata_logged_when_enabled() {
+    fn fault_metadata_logged_when_enabled() -> Result<(), UvmError> {
         let policy = DriverPolicy::default().log_faults(true);
         let (mut driver, mut gpu, mut host) = setup(16, policy);
         let mut asa = AddressSpaceAllocator::new();
@@ -949,14 +975,15 @@ mod tests {
         driver.managed_alloc(alloc);
         let p = alloc.page(0);
         let faults = vec![fault(p, 0, AccessKind::Read), fault(p, 0, AccessKind::Read)];
-        driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
+        driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0))?;
         assert_eq!(driver.fault_log.len(), 2);
         assert!(!driver.fault_log[0].was_duplicate);
         assert!(driver.fault_log[1].was_duplicate);
+        Ok(())
     }
 
     #[test]
-    fn read_mostly_skips_unmap_and_writeback() {
+    fn read_mostly_skips_unmap_and_writeback() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(1, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(2 * VABLOCK_SIZE);
@@ -969,7 +996,7 @@ mod tests {
 
         // Read fault: migrates WITHOUT unmapping the CPU copy.
         let r0 = driver
-            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap()
+            .service_batch(&[fault(blocks[0].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))?
             .clone();
         assert_eq!(r0.t_unmap, SimDuration::ZERO, "read duplication keeps CPU mapping");
         assert_eq!(r0.cpu_pages_unmapped, 0);
@@ -978,14 +1005,15 @@ mod tests {
 
         // Evicting the duplicated block (capacity 1) writes nothing back.
         let r1 = driver
-            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000)).unwrap()
+            .service_batch(&[fault(blocks[1].first_page(), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))?
             .clone();
         assert_eq!(r1.evictions, 1);
         assert_eq!(r1.bytes_evicted, 0, "dropping a duplicate needs no writeback");
+        Ok(())
     }
 
     #[test]
-    fn read_mostly_write_collapses_duplication() {
+    fn read_mostly_write_collapses_duplication() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(4, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
@@ -995,14 +1023,15 @@ mod tests {
             driver.cpu_touch(&mut host, alloc.page(i), 0, true);
         }
         let rec = driver
-            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Write)], &mut gpu, &mut host, SimTime(0)).unwrap()
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Write)], &mut gpu, &mut host, SimTime(0))?
             .clone();
         assert!(rec.t_unmap > SimDuration::ZERO, "a write collapses the duplication");
         assert!(rec.cpu_pages_unmapped > 0);
+        Ok(())
     }
 
     #[test]
-    fn preferred_location_host_maps_remotely() {
+    fn preferred_location_host_maps_remotely() -> Result<(), UvmError> {
         // Capacity 1 block, but the advised allocation never consumes it.
         let (mut driver, mut gpu, mut host) = setup(1, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
@@ -1016,7 +1045,7 @@ mod tests {
             .step_by(64)
             .map(|i| fault(alloc.page(i as u64), 0, AccessKind::Read))
             .collect();
-        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap().clone();
+        let rec = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0))?.clone();
         assert_eq!(rec.pages_migrated, 0, "no migration under host preference");
         assert_eq!(rec.bytes_migrated, 0);
         assert_eq!(rec.remote_mapped_pages, 16);
@@ -1025,10 +1054,11 @@ mod tests {
         assert!(rec.t_dma_setup > SimDuration::ZERO, "remote access needs DMA maps");
         assert!(gpu.is_resident(alloc.page(0)), "remote mapping satisfies accesses");
         assert_eq!(driver.memory().resident_blocks(), 0);
+        Ok(())
     }
 
     #[test]
-    fn prefetch_async_migrates_everything_upfront() {
+    fn prefetch_async_migrates_everything_upfront() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(2 * VABLOCK_SIZE);
@@ -1036,9 +1066,9 @@ mod tests {
         for i in 0..1024 {
             driver.cpu_touch(&mut host, alloc.page(i), 0, true);
         }
-        let end = driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0)).unwrap();
+        let end = driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0))?;
         assert!(end > SimTime(0));
-        let rec = driver.records.last().unwrap().clone();
+        let rec = driver.records.last().expect("operation logged a record").clone();
         assert!(rec.driver_prefetch_op);
         assert_eq!(rec.pages_migrated, 1024);
         assert_eq!(rec.num_va_blocks, 2);
@@ -1048,28 +1078,30 @@ mod tests {
         // nothing.
         let rec2 = driver
             .service_batch(&[fault(alloc.page(5), 0, AccessKind::Read)], &mut gpu, &mut host, end)
-            .unwrap()
+            ?
             .clone();
         assert_eq!(rec2.pages_migrated, 0);
+        Ok(())
     }
 
     #[test]
-    fn prefetch_async_is_idempotent() {
+    fn prefetch_async_is_idempotent() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
-        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0)).unwrap();
-        let first = driver.records.last().unwrap().pages_migrated;
-        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(10_000_000)).unwrap();
-        let second = driver.records.last().unwrap();
+        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(0))?;
+        let first = driver.records.last().expect("operation logged a record").pages_migrated;
+        driver.prefetch_async(&alloc, &mut gpu, &mut host, SimTime(10_000_000))?;
+        let second = driver.records.last().expect("operation logged a record");
         assert_eq!(first, 512);
         assert_eq!(second.pages_migrated, 0, "already resident");
         assert_eq!(second.num_va_blocks, 0);
+        Ok(())
     }
 
     #[test]
-    fn thrashing_pin_breaks_eviction_ping_pong() {
+    fn thrashing_pin_breaks_eviction_ping_pong() -> Result<(), UvmError> {
         // Capacity 1, two blocks faulted alternately: without mitigation
         // every access cycle evicts; with it, the re-faulted block pins
         // host-side and evictions stop.
@@ -1088,18 +1120,22 @@ mod tests {
                     &mut gpu,
                     &mut host,
                     SimTime(round * 1_000_000),
-                ).unwrap();
+                )?;
             }
-            (driver.memory().evictions(), driver.records.iter().map(|r| r.thrashing_pins).sum::<u64>())
+            Ok::<_, UvmError>((
+                driver.memory().evictions(),
+                driver.records.iter().map(|r| r.thrashing_pins).sum::<u64>(),
+            ))
         };
-        let (evictions_off, pins_off) = run(false);
-        let (evictions_on, pins_on) = run(true);
+        let (evictions_off, pins_off) = run(false)?;
+        let (evictions_on, pins_on) = run(true)?;
         assert_eq!(pins_off, 0);
         assert!(pins_on > 0, "thrashing detected and pinned");
         assert!(
             evictions_on < evictions_off,
             "pinning reduces evictions: {evictions_on} vs {evictions_off}"
         );
+        Ok(())
     }
 
     // ---- fault-injection recovery ----
@@ -1120,7 +1156,7 @@ mod tests {
     }
 
     #[test]
-    fn transient_copy_fault_retries_then_succeeds() {
+    fn transient_copy_fault_retries_then_succeeds() -> Result<(), UvmError> {
         let plan = FaultPlan::none()
             .with(InjectionPoint::CopyEngineFault, PointPlan::scheduled(SimTime(0), 1));
         let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
@@ -1128,17 +1164,18 @@ mod tests {
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
         let rec = driver
-            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap();
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))?;
         assert_eq!(rec.injected_faults, 1);
         assert_eq!(rec.retries, 1);
         assert!(rec.t_backoff > SimDuration::ZERO, "retry charged backoff");
         assert_eq!(rec.degraded_blocks, 0);
         assert_eq!(rec.pages_migrated, 1, "migration succeeded on retry");
         assert!(gpu.is_resident(alloc.page(0)));
+        Ok(())
     }
 
     #[test]
-    fn exhausted_copy_retries_degrade_block_to_remote() {
+    fn exhausted_copy_retries_degrade_block_to_remote() -> Result<(), UvmError> {
         let plan = FaultPlan::none()
             .with(InjectionPoint::CopyEngineFault, PointPlan::with_probability(1.0));
         let (mut driver, mut gpu, mut host) =
@@ -1146,11 +1183,11 @@ mod tests {
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
-        let id = alloc.va_blocks().next().unwrap();
+        let id = alloc.va_blocks().next().expect("allocation spans a block");
 
         let rec = driver
             .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
-            .unwrap()
+            ?
             .clone();
         assert_eq!(rec.injected_faults, 3, "initial attempt + 2 retries all failed");
         assert_eq!(rec.retries, 2);
@@ -1166,16 +1203,17 @@ mod tests {
         // directly: the (still always-failing) copy engine is never asked.
         let rec2 = driver
             .service_batch(&[fault(alloc.page(1), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))
-            .unwrap()
+            ?
             .clone();
         assert_eq!(rec2.injected_faults, 0, "degraded block bypasses the copy engine");
         assert_eq!(rec2.degraded_blocks, 0);
         assert_eq!(rec2.remote_mapped_pages, 1);
         assert_eq!(rec2.pages_migrated, 0);
+        Ok(())
     }
 
     #[test]
-    fn degraded_block_releases_its_device_memory() {
+    fn degraded_block_releases_its_device_memory() -> Result<(), UvmError> {
         // Migrate successfully first, then degrade on a later batch: the
         // resident pages must write back and the device chunk must free.
         let plan = FaultPlan::none()
@@ -1190,12 +1228,12 @@ mod tests {
         }
         driver
             .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
-            .unwrap();
+            ?;
         assert_eq!(driver.memory().resident_blocks(), 1);
 
         let rec = driver
             .service_batch(&[fault(alloc.page(1), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(1_000_000))
-            .unwrap()
+            ?
             .clone();
         assert_eq!(rec.degraded_blocks, 1);
         assert!(rec.bytes_evicted > 0, "resident data written back");
@@ -1204,10 +1242,11 @@ mod tests {
         // Both the previously-resident page and the new fault are remote.
         assert!(gpu.is_resident(alloc.page(0)));
         assert!(gpu.is_resident(alloc.page(1)));
+        Ok(())
     }
 
     #[test]
-    fn dma_map_failure_retries_then_succeeds() {
+    fn dma_map_failure_retries_then_succeeds() -> Result<(), UvmError> {
         let plan = FaultPlan::none()
             .with(InjectionPoint::DmaMapFailure, PointPlan::scheduled(SimTime(0), 2));
         let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
@@ -1215,15 +1254,16 @@ mod tests {
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
         let rec = driver
-            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap();
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))?;
         assert_eq!(rec.injected_faults, 2);
         assert_eq!(rec.retries, 2);
         assert_eq!(rec.new_va_blocks, 1, "mapping eventually succeeded");
         assert_eq!(rec.pages_migrated, 1);
+        Ok(())
     }
 
     #[test]
-    fn exhausted_dma_retries_fail_the_batch() {
+    fn exhausted_dma_retries_fail_the_batch() -> Result<(), UvmError> {
         let plan = FaultPlan::none()
             .with(InjectionPoint::DmaMapFailure, PointPlan::with_probability(1.0));
         let (mut driver, mut gpu, mut host) =
@@ -1231,15 +1271,16 @@ mod tests {
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
-        let id = alloc.va_blocks().next().unwrap();
+        let id = alloc.va_blocks().next().expect("allocation spans a block");
         let err = driver
             .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
-            .unwrap_err();
+            .expect_err("retries must exhaust");
         assert_eq!(err, UvmError::DmaMapFailed { block: id.0 });
+        Ok(())
     }
 
     #[test]
-    fn host_unmap_failure_retries_then_succeeds() {
+    fn host_unmap_failure_retries_then_succeeds() -> Result<(), UvmError> {
         let plan = FaultPlan::none()
             .with(InjectionPoint::HostPopulateFailure, PointPlan::scheduled(SimTime(0), 1));
         let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
@@ -1248,14 +1289,15 @@ mod tests {
         driver.managed_alloc(alloc);
         driver.cpu_touch(&mut host, alloc.page(0), 0, true);
         let rec = driver
-            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap();
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))?;
         assert_eq!(rec.injected_faults, 1);
         assert_eq!(rec.retries, 1);
         assert_eq!(rec.cpu_pages_unmapped, 1, "unmap succeeded on retry");
+        Ok(())
     }
 
     #[test]
-    fn exhausted_host_unmap_retries_fail_the_batch() {
+    fn exhausted_host_unmap_retries_fail_the_batch() -> Result<(), UvmError> {
         let plan = FaultPlan::none()
             .with(InjectionPoint::HostPopulateFailure, PointPlan::with_probability(1.0));
         let (mut driver, mut gpu, mut host) =
@@ -1264,15 +1306,16 @@ mod tests {
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
         driver.cpu_touch(&mut host, alloc.page(0), 0, true);
-        let id = alloc.va_blocks().next().unwrap();
+        let id = alloc.va_blocks().next().expect("allocation spans a block");
         let err = driver
             .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
-            .unwrap_err();
+            .expect_err("retries must exhaust");
         assert_eq!(err, UvmError::HostPopulateFailed { block: id.0 });
+        Ok(())
     }
 
     #[test]
-    fn fetch_stall_retries_within_budget_and_fails_beyond_it() {
+    fn fetch_stall_retries_within_budget_and_fails_beyond_it() -> Result<(), UvmError> {
         // Burst of 2 stalls with 3 retries allowed: recovers.
         let plan = FaultPlan::none()
             .with(InjectionPoint::BatchFetchStall, PointPlan::scheduled(SimTime(0), 2));
@@ -1281,7 +1324,7 @@ mod tests {
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
         let rec = driver
-            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0)).unwrap();
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))?;
         assert_eq!(rec.injected_faults, 2);
         assert_eq!(rec.retries, 2);
         assert_eq!(rec.pages_migrated, 1);
@@ -1296,12 +1339,13 @@ mod tests {
         driver.managed_alloc(alloc);
         let err = driver
             .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
-            .unwrap_err();
+            .expect_err("retries must exhaust");
         assert_eq!(err, UvmError::BatchFetchStall { batch: 0 });
+        Ok(())
     }
 
     #[test]
-    fn buffer_overflow_drops_are_attributed_to_the_next_batch() {
+    fn buffer_overflow_drops_are_attributed_to_the_next_batch() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup(16, DriverPolicy::default());
         let mut inj = Injector::new(
             &FaultPlan::none()
@@ -1321,18 +1365,19 @@ mod tests {
         }
         assert_eq!(gpu.fault_buffer.overflow_drops(), 3);
         let batch = gpu.fault_buffer.fetch(256, SimTime(100));
-        let rec = driver.service_batch(&batch, &mut gpu, &mut host, SimTime(100)).unwrap().clone();
+        let rec = driver.service_batch(&batch, &mut gpu, &mut host, SimTime(100))?.clone();
         assert_eq!(rec.raw_faults, 3, "survivors serviced");
         assert_eq!(rec.dropped_faults, 3, "storm drops attributed here");
         // The attribution is once-only.
         let rec2 = driver
             .service_batch(&[fault(alloc.page(10), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(200))
-            .unwrap();
+            ?;
         assert_eq!(rec2.dropped_faults, 0);
+        Ok(())
     }
 
     #[test]
-    fn identical_seeds_give_identical_record_streams_under_injection() {
+    fn identical_seeds_give_identical_record_streams_under_injection() -> Result<(), UvmError> {
         let run = |seed: u64| {
             let policy = DriverPolicy::default();
             let cost = CostModel::titan_v();
@@ -1354,14 +1399,15 @@ mod tests {
                 // failed batches — both runs must fail identically too.
                 let _ = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(round * 1_000_000));
             }
-            serde_json::to_string(&driver.records).unwrap()
+            serde_json::to_string(&driver.records).expect("records serialize")
         };
         assert_eq!(run(0x5C21), run(0x5C21), "same seed, byte-identical records");
         assert_ne!(run(0x5C21), run(0x1234), "different seed diverges");
+        Ok(())
     }
 
     #[test]
-    fn disabled_injection_leaves_baseline_records_unchanged() {
+    fn disabled_injection_leaves_baseline_records_unchanged() -> Result<(), UvmError> {
         // Wiring a FaultPlan::none() injector must not perturb the RNG
         // stream or any recorded time.
         let run = |wire: bool| {
@@ -1380,15 +1426,16 @@ mod tests {
                 let faults: Vec<_> = (0..32)
                     .map(|i| fault(alloc.page(round * 100 + i), 0, AccessKind::Read))
                     .collect();
-                driver.service_batch(&faults, &mut gpu, &mut host, SimTime(round * 1_000_000)).unwrap();
+                driver.service_batch(&faults, &mut gpu, &mut host, SimTime(round * 1_000_000))?;
             }
-            serde_json::to_string(&driver.records).unwrap()
+            Ok::<_, UvmError>(serde_json::to_string(&driver.records).expect("records serialize"))
         };
-        assert_eq!(run(false), run(true));
+        assert_eq!(run(false)?, run(true)?);
+        Ok(())
     }
 
     #[test]
-    fn batch_time_grows_with_data_moved() {
+    fn batch_time_grows_with_data_moved() -> Result<(), UvmError> {
         // Fig. 6: average batch cost rises with migration size.
         let (mut driver, mut gpu, mut host) = setup(64, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
@@ -1399,17 +1446,18 @@ mod tests {
         }
 
         let small: Vec<_> = (0..8).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
-        let r_small = driver.service_batch(&small, &mut gpu, &mut host, SimTime(0)).unwrap().clone();
+        let r_small = driver.service_batch(&small, &mut gpu, &mut host, SimTime(0))?.clone();
         let big: Vec<_> = (0..256)
             .map(|i| fault(alloc.page(512 + i), 0, AccessKind::Read))
             .collect();
-        let r_big = driver.service_batch(&big, &mut gpu, &mut host, SimTime(10_000_000)).unwrap().clone();
+        let r_big = driver.service_batch(&big, &mut gpu, &mut host, SimTime(10_000_000))?.clone();
         assert!(r_big.service_time() > r_small.service_time());
         assert!(r_big.bytes_migrated > r_small.bytes_migrated);
+        Ok(())
     }
 
     #[test]
-    fn more_vablocks_cost_more_at_same_size() {
+    fn more_vablocks_cost_more_at_same_size() -> Result<(), UvmError> {
         // Fig. 10: for equal migration size, more VABlocks → higher cost.
         let (mut driver, mut gpu, mut host) = setup(64, DriverPolicy::default());
         let mut asa = AddressSpaceAllocator::new();
@@ -1419,19 +1467,19 @@ mod tests {
         let warmup: Vec<_> = (0..32)
             .map(|b| fault(alloc.page(b * 512 + 511), 0, AccessKind::Read))
             .collect();
-        driver.service_batch(&warmup, &mut gpu, &mut host, SimTime(0)).unwrap();
+        driver.service_batch(&warmup, &mut gpu, &mut host, SimTime(0))?;
 
         // 64 pages in 1 block vs 64 pages across 16 blocks.
         let concentrated: Vec<_> =
             (0..64).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
         let rc = driver
-            .service_batch(&concentrated, &mut gpu, &mut host, SimTime(100_000_000)).unwrap()
+            .service_batch(&concentrated, &mut gpu, &mut host, SimTime(100_000_000))?
             .clone();
         let spread: Vec<_> = (0..64)
             .map(|i| fault(alloc.page(512 + (i % 16) * 512 + 32 + i / 16), 0, AccessKind::Read))
             .collect();
         let rs = driver
-            .service_batch(&spread, &mut gpu, &mut host, SimTime(200_000_000)).unwrap()
+            .service_batch(&spread, &mut gpu, &mut host, SimTime(200_000_000))?
             .clone();
         assert_eq!(rc.pages_migrated, rs.pages_migrated);
         assert!(rs.num_va_blocks > rc.num_va_blocks);
@@ -1441,5 +1489,6 @@ mod tests {
             rs.service_time(),
             rc.service_time()
         );
+        Ok(())
     }
 }

@@ -8,13 +8,14 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::error::UvmError;
 use uvm_sim::mem::{Allocation, PageNum, VaBlockId, PAGES_PER_VABLOCK};
 
 use crate::va_block::VaBlockState;
 
 /// Registry of managed allocations and their VABlock states.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct VaSpace {
     blocks: HashMap<VaBlockId, VaBlockState>,
     allocations: Vec<Allocation>,

@@ -18,6 +18,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::cost::CostModel;
 use uvm_sim::mem::PageNum;
 use uvm_sim::rng::DetRng;
@@ -57,7 +58,11 @@ pub enum StepOutcome {
 }
 
 /// The modelled GPU device.
-#[derive(Debug)]
+///
+/// Serializable in full — page table, μTLBs, GMMU queues, fault buffer,
+/// every warp's scoreboard, SM occupancy, and the hardware-jitter RNG — so
+/// a snapshot taken between batches restores to a bit-identical device.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Gpu {
     /// Hardware configuration.
     pub spec: GpuSpec,

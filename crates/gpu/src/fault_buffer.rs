@@ -9,13 +9,14 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::inject::PointInjector;
 use uvm_sim::time::SimTime;
 
 use crate::fault::FaultRecord;
 
 /// The circular GPU fault buffer.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct FaultBuffer {
     entries: VecDeque<FaultRecord>,
     capacity: u32,

@@ -17,6 +17,7 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::cost::CostModel;
 use uvm_sim::mem::PageNum;
 use uvm_sim::time::SimTime;
@@ -25,7 +26,7 @@ use crate::fault::{AccessKind, FaultRecord};
 use crate::fault_buffer::FaultBuffer;
 
 /// A fault awaiting GMMU insertion into the fault buffer.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct PendingFault {
     page: PageNum,
     kind: AccessKind,
@@ -36,7 +37,7 @@ struct PendingFault {
 }
 
 /// The GMMU arbitration stage.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Gmmu {
     queues: Vec<VecDeque<PendingFault>>,
     /// Round-robin cursor over μTLB queues.

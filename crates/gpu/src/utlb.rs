@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::mem::PageNum;
 
 /// Result of attempting to register a fault with a μTLB.
@@ -25,7 +26,7 @@ pub enum UtlbInsert {
 }
 
 /// One μTLB's outstanding-fault state.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Utlb {
     outstanding: HashSet<PageNum>,
     limit: u32,

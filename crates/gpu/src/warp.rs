@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::mem::PageNum;
 use uvm_sim::time::SimTime;
 
@@ -16,7 +17,7 @@ use crate::fault::AccessKind;
 use crate::isa::{Instr, WarpProgram};
 
 /// Scheduling status of a warp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WarpStatus {
     /// Queued behind other warps on its SM; not yet executing.
     Queued,
@@ -30,7 +31,11 @@ pub enum WarpStatus {
 }
 
 /// One warp.
-#[derive(Debug)]
+///
+/// Fully serializable — program counter, partially issued instruction,
+/// scoreboard, and refault queue included — so a restored warp resumes
+/// mid-instruction exactly where the snapshot left it.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Warp {
     /// Global warp id.
     pub id: u32,

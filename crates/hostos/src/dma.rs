@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::error::UvmError;
 use uvm_sim::inject::PointInjector;
 use uvm_sim::mem::{PageNum, VaBlockId};
@@ -19,7 +20,7 @@ use uvm_sim::time::SimTime;
 use crate::radix_tree::RadixTree;
 
 /// A DMA (IO virtual) address, in pages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DmaAddr(pub u64);
 
 /// Work report for mapping a set of pages.
@@ -35,7 +36,7 @@ pub struct DmaReport {
 
 /// The DMA address space for one GPU: forward page→DMA map plus the
 /// kernel-side reverse radix tree.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct DmaSpace {
     forward: HashMap<PageNum, DmaAddr>,
     reverse: RadixTree<PageNum>,

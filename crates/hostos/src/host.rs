@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::error::UvmError;
 use uvm_sim::inject::PointInjector;
 use uvm_sim::mem::{PageNum, VaBlockId};
@@ -65,7 +66,10 @@ impl UnmapReport {
 }
 
 /// Host process memory state visible to the UVM driver.
-#[derive(Debug, Default)]
+///
+/// Serializable in full — page table, rmap, TLB directory, NUMA topology,
+/// and injector state — for whole-system snapshot/restore.
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct HostMemory {
     page_table: PageTable,
     /// Reverse map: which cores have each page mapped.

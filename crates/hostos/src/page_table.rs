@@ -9,10 +9,11 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::mem::PageNum;
 
 /// Per-PTE flag bits (subset relevant to the fault path).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct PteFlags {
     /// Page has been written since mapping (needs writeback consideration on
     /// unmap).
@@ -37,7 +38,7 @@ const LEVEL_BITS: u32 = 9;
 const LEVEL_MASK: u64 = (1 << LEVEL_BITS) - 1;
 
 /// A leaf table: 512 PTE slots.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct PteTable {
     entries: HashMap<u16, PteFlags>,
 }
@@ -48,7 +49,7 @@ struct PteTable {
 /// sparse, because a simulation touches a tiny fraction of the 2^36-page
 /// space — but the *leaf* level retains the 512-slot granularity so that
 /// table allocation/free work matches the real structure.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct PageTable {
     /// Leaf tables keyed by `page >> 9` (the PMD-entry coordinate).
     leaves: HashMap<u64, PteTable>,

@@ -13,6 +13,8 @@
 //! key, and every insert reports how many nodes it allocated so the cost
 //! model can charge for exactly the allocation work a real insert would do.
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 /// log2 of the node fan-out (64 slots per node, as in Linux).
 pub const MAP_SHIFT: u32 = 6;
 /// Slots per node.
@@ -42,7 +44,7 @@ impl<V> Node<V> {
 }
 
 /// Statistics accumulated over the tree's lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RadixStats {
     /// Total interior/leaf-level nodes currently allocated.
     pub nodes: u64,
@@ -294,6 +296,66 @@ impl<V> RadixTree<V> {
     }
 }
 
+// The node structure cannot carry a serde derive (it is generic and
+// recursive), but it does not need to: given a height and a key set, the
+// set of allocated nodes is fully determined — interior nodes exist exactly
+// on the paths of live keys, and `remove` frees emptied nodes eagerly. A
+// tree therefore serializes as `(height, items, stats)` and restores by
+// pre-growing to the snapshot height and reinserting. Height is recorded
+// explicitly because it can exceed `height_for(max live key)` when a larger
+// key has since been removed — reinsertion alone would rebuild a shorter
+// tree whose future growth costs diverge from the original's.
+impl<V: Serialize> Serialize for RadixTree<V> {
+    fn to_value(&self) -> Value {
+        let items: Vec<Value> = self
+            .iter()
+            .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+            .collect();
+        Value::Object(vec![
+            ("height".to_string(), self.height.to_value()),
+            ("items".to_string(), Value::Array(items)),
+            ("stats".to_string(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl<V: Deserialize> Deserialize for RadixTree<V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = serde::__object_fields(v, "RadixTree")?;
+        let height: u32 = serde::__field(fields, "height")?;
+        let items: Vec<(u64, V)> = serde::__field(fields, "items")?;
+        let stats: RadixStats = serde::__field(fields, "stats")?;
+        if stats.entries != items.len() as u64 {
+            return Err(DeError::custom(format!(
+                "radix tree snapshot lists {} items but stats claim {} entries",
+                items.len(),
+                stats.entries
+            )));
+        }
+        let mut tree = RadixTree::new();
+        if height > 0 {
+            tree.root = Some(tree.alloc_node());
+            tree.height = height;
+            for (k, v) in items {
+                if Self::height_for(k) > height {
+                    return Err(DeError::custom(format!(
+                        "radix tree snapshot key {k} does not fit height {height}"
+                    )));
+                }
+                tree.insert(k, v);
+            }
+        } else if !items.is_empty() {
+            return Err(DeError::custom("radix tree snapshot has items but zero height"));
+        }
+        debug_assert_eq!(
+            tree.stats.nodes, stats.nodes,
+            "reinserted tree structure must match the snapshot"
+        );
+        tree.stats = stats;
+        Ok(tree)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +451,27 @@ mod tests {
         let mut want = keys.to_vec();
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_structure_and_stats() {
+        let mut t = RadixTree::new();
+        for k in 0..300u64 {
+            t.insert(k * 97, k);
+        }
+        // Grow past the live maximum, then remove: height and lifetime
+        // counters must survive the round trip even though reinsertion alone
+        // would rebuild a shorter tree.
+        t.insert(1 << 40, 0);
+        t.remove(1 << 40);
+        let back: RadixTree<u64> = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back.stats(), t.stats());
+        assert_eq!(back.height, t.height);
+        for k in 0..300u64 {
+            assert_eq!(back.get(k * 97), Some(&k));
+        }
+        // Identical serialized form (the digest property snapshots rely on).
+        assert_eq!(back.to_value(), t.to_value());
     }
 
     #[test]

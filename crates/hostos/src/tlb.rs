@@ -13,12 +13,13 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::mem::VaBlockId;
 
 use crate::rmap::CoreSet;
 
 /// Directory of which cores hold (possibly stale) translations per VABlock.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct TlbDirectory {
     entries: HashMap<VaBlockId, CoreSet>,
     /// Monotone count of shootdown IPIs issued.

@@ -63,6 +63,13 @@ pub enum UvmError {
         /// Human-readable description of the disagreement.
         detail: String,
     },
+    /// A checkpoint could not be restored: wrong format version, a
+    /// different workload or configuration than the one it was taken
+    /// against, or a malformed state tree.
+    SnapshotInvalid {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl fmt::Display for UvmError {
@@ -85,6 +92,9 @@ impl fmt::Display for UvmError {
             }
             UvmError::InvariantViolation { subsystem, block, detail } => {
                 write!(f, "invariant violation [{subsystem}] block {block}: {detail}")
+            }
+            UvmError::SnapshotInvalid { detail } => {
+                write!(f, "snapshot cannot be restored: {detail}")
             }
         }
     }

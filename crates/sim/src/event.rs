@@ -137,6 +137,50 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
     }
+
+    /// The next sequence number this queue would assign.
+    ///
+    /// Part of a queue's snapshot state: restoring it keeps FIFO tie-breaking
+    /// of future events identical to an uninterrupted run.
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Rebuild a queue from snapshot state: the clock, the next sequence
+    /// number, and the pending entries as `(time, seq, payload)` triples.
+    ///
+    /// Each entry keeps its original sequence number so that ties between
+    /// pre-snapshot and post-restore events resolve exactly as they would
+    /// have in the uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry lies in the past of `now` or carries a sequence
+    /// number the restored counter would hand out again — either means the
+    /// snapshot is corrupt.
+    pub fn restore(now: SimTime, seq: u64, entries: Vec<(SimTime, u64, E)>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for (at, entry_seq, payload) in entries {
+            assert!(at >= now, "restored event at {} before clock {}", at.as_nanos(), now.as_nanos());
+            assert!(entry_seq < seq, "restored event seq {entry_seq} >= queue seq {seq}");
+            heap.push(Entry { at, seq: entry_seq, payload });
+        }
+        EventQueue { heap, seq, now }
+    }
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// The pending events as `(time, seq, payload)` triples, sorted in firing
+    /// order. This is the queue's serializable snapshot form; feed it back to
+    /// [`EventQueue::restore`] together with [`EventQueue::now`] and
+    /// [`EventQueue::seq`].
+    pub fn snapshot_entries(&self) -> Vec<(SimTime, u64, E)> {
+        let mut out: Vec<(SimTime, u64, E)> =
+            self.heap.iter().map(|e| (e.at, e.seq, e.payload.clone())).collect();
+        out.sort_by_key(|&(at, seq, _)| (at, seq));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +226,29 @@ mod tests {
         q.schedule(SimTime(10), ());
         q.pop();
         q.schedule(SimTime(5), ());
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_order_and_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), 0);
+        q.schedule(SimTime(20), 1);
+        q.schedule(SimTime(20), 2); // tie with 1: FIFO by seq
+        q.schedule(SimTime(30), 3);
+        q.pop(); // clock at 10, three pending
+
+        let mut r = EventQueue::restore(q.now(), q.seq(), q.snapshot_entries());
+        assert_eq!(r.now(), SimTime(10));
+        assert_eq!(r.seq(), 4);
+        // A post-restore event at the same instant as pre-snapshot ties must
+        // still pop after them, exactly as in the uninterrupted run.
+        r.schedule(SimTime(20), 4);
+        q.schedule(SimTime(20), 4);
+        let drain = |q: &mut EventQueue<i32>| -> Vec<i32> {
+            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect()
+        };
+        assert_eq!(drain(&mut r), vec![1, 2, 4, 3]);
+        assert_eq!(drain(&mut q), vec![1, 2, 4, 3]);
     }
 
     #[test]

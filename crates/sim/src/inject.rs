@@ -186,7 +186,11 @@ impl FaultPlan {
 /// The runtime state of one injection point, owned by the subsystem that
 /// hosts the site (the fault buffer, the DMA space, the host OS, or the
 /// driver itself).
-#[derive(Debug, Clone)]
+///
+/// Serializable in full — schedule cursor, active burst, RNG stream, and
+/// draw/fire counters — so a restored run replays the exact remaining
+/// failure pattern of the snapshotted one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PointInjector {
     probability: f64,
     /// Sorted schedule of one-shot triggers; `next_at` indexes the first

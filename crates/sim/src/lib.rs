@@ -20,6 +20,8 @@
 //!   panics along the servicing path.
 //! * [`inject`] — deterministic, seeded fault injection ([`FaultPlan`],
 //!   [`Injector`]) driving failures at named pipeline points.
+//! * [`snapshot`] — the snapshot format version and the stable state digest
+//!   used for checkpoint/restore and divergence detection.
 //!
 //! The simulator is *deterministic*: no wall-clock time, no global state, no
 //! thread nondeterminism. Ties in the event queue are broken by insertion
@@ -31,6 +33,7 @@ pub mod event;
 pub mod inject;
 pub mod mem;
 pub mod rng;
+pub mod snapshot;
 pub mod time;
 
 pub use cost::CostModel;
@@ -39,4 +42,5 @@ pub use event::EventQueue;
 pub use inject::{FaultPlan, InjectionPoint, Injector, PointInjector, PointPlan};
 pub use mem::{PageNum, VaBlockId, VirtAddr, PAGE_SIZE, PAGES_PER_VABLOCK, VABLOCK_SIZE};
 pub use rng::DetRng;
+pub use snapshot::{digest_value, SNAPSHOT_VERSION};
 pub use time::{SimDuration, SimTime};

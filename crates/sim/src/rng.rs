@@ -5,6 +5,8 @@
 //! from the experiment seed, so a run is a pure function of its
 //! configuration.
 
+use serde::{Deserialize, Serialize};
+
 use crate::time::SimDuration;
 
 /// A seeded random source with simulation-oriented helpers.
@@ -13,7 +15,11 @@ use crate::time::SimDuration;
 /// `SmallRng` uses) seeded through SplitMix64, so the simulation has no
 /// external RNG dependency and every stream is a pure function of its seed
 /// across toolchain upgrades.
-#[derive(Debug, Clone)]
+///
+/// The full generator state is its four 64-bit words, so `DetRng` is
+/// serializable: a restored stream continues exactly where the snapshotted
+/// one left off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DetRng {
     state: [u64; 4],
 }

@@ -1,0 +1,121 @@
+//! Snapshot support shared by every stateful crate.
+//!
+//! A system snapshot is assembled from per-subsystem [`serde::Value`] trees
+//! (the vendored serde facade's self-describing intermediate form). This
+//! module provides the two pieces that must be common across crates:
+//!
+//! * [`SNAPSHOT_VERSION`] — the on-disk format version. A snapshot written
+//!   by one version of the simulator refuses to load into another, because
+//!   replaying it would silently diverge.
+//! * [`digest_value`] — a stable 64-bit digest of a `Value` tree. Subsystem
+//!   digests are the currency of divergence detection: two runs agree on a
+//!   batch exactly when all their subsystem digests agree, and the first
+//!   digest that differs names the subsystem that broke determinism.
+//!
+//! The digest is FNV-1a over a type-tagged preorder walk of the tree. It is
+//! a pure function of the tree's structure — independent of JSON rendering,
+//! whitespace, or float formatting — and because the serde facade serializes
+//! hash maps and sets in sorted key order, it is also independent of hash
+//! iteration order.
+
+use serde::Value;
+
+/// Version of the snapshot format. Bump whenever the shape of any
+/// subsystem's serialized state changes; restore rejects mismatches.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[inline]
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn walk(h: u64, v: &Value) -> u64 {
+    // Each variant contributes a distinct tag byte so that structurally
+    // different trees with equal leaf bytes (e.g. `"1"` vs `1`, `[1]` vs `1`)
+    // cannot collide trivially.
+    match v {
+        Value::Null => fnv(h, &[0x00]),
+        Value::Bool(b) => fnv(fnv(h, &[0x01]), &[*b as u8]),
+        Value::NumU(n) => fnv(fnv(h, &[0x02]), &n.to_le_bytes()),
+        Value::NumI(n) => fnv(fnv(h, &[0x03]), &n.to_le_bytes()),
+        Value::Float(f) => fnv(fnv(h, &[0x04]), &f.to_bits().to_le_bytes()),
+        Value::Str(s) => {
+            let h = fnv(fnv(h, &[0x05]), &(s.len() as u64).to_le_bytes());
+            fnv(h, s.as_bytes())
+        }
+        Value::Array(items) => {
+            let mut h = fnv(fnv(h, &[0x06]), &(items.len() as u64).to_le_bytes());
+            for item in items {
+                h = walk(h, item);
+            }
+            h
+        }
+        Value::Object(fields) => {
+            let mut h = fnv(fnv(h, &[0x07]), &(fields.len() as u64).to_le_bytes());
+            for (k, v) in fields {
+                h = fnv(h, &(k.len() as u64).to_le_bytes());
+                h = fnv(h, k.as_bytes());
+                h = walk(h, v);
+            }
+            h
+        }
+    }
+}
+
+/// Stable FNV-1a digest of a serialized state tree.
+///
+/// Equal trees always digest equally; the digest depends only on the tree
+/// (not on any textual rendering of it), so it can be compared across
+/// processes, machines, and — as long as [`SNAPSHOT_VERSION`] matches —
+/// simulator builds.
+pub fn digest_value(v: &Value) -> u64 {
+    walk(FNV_OFFSET, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_trees_digest_equal() {
+        let a = Value::Object(vec![
+            ("x".into(), Value::NumU(3)),
+            ("y".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(digest_value(&a), digest_value(&a.clone()));
+    }
+
+    #[test]
+    fn structural_differences_change_the_digest() {
+        let cases = [
+            Value::NumU(1),
+            Value::NumI(-1),
+            Value::Str("1".into()),
+            Value::Array(vec![Value::NumU(1)]),
+            Value::Float(1.0),
+            Value::Bool(true),
+            Value::Null,
+            Value::Object(vec![("1".into(), Value::Null)]),
+        ];
+        let digests: Vec<u64> = cases.iter().map(digest_value).collect();
+        for i in 0..digests.len() {
+            for j in (i + 1)..digests.len() {
+                assert_ne!(digests[i], digests[j], "cases {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn field_names_are_digested() {
+        let a = Value::Object(vec![("a".into(), Value::NumU(1))]);
+        let b = Value::Object(vec![("b".into(), Value::NumU(1))]);
+        assert_ne!(digest_value(&a), digest_value(&b));
+    }
+}

@@ -6,10 +6,11 @@
 //! determines the fault-path `unmap_mapping_range` cost (paper Fig. 11:
 //! default OpenMP threading roughly halves HPGMG's UVM performance).
 
+use serde::{Deserialize, Serialize};
 use uvm_sim::mem::{Allocation, PageNum};
 
 /// One CPU first-touch: `core` touched `page` (write = stores during init).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CpuTouch {
     /// Touched page.
     pub page: PageNum,

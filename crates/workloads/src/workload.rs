@@ -1,5 +1,6 @@
 //! The [`Workload`] container shared by all generators.
 
+use serde::{Deserialize, Serialize};
 use uvm_gpu::isa::WarpProgram;
 use uvm_sim::mem::{AddressSpaceAllocator, Allocation, PAGE_SIZE};
 
@@ -7,7 +8,10 @@ use crate::cpu_init::CpuTouch;
 
 /// A complete benchmark instance: allocations, per-warp GPU programs, and
 /// host-side initialization touches.
-#[derive(Debug, Clone)]
+///
+/// Workloads serialize, so a checkpoint can embed a digest of the exact
+/// workload it was taken against and refuse to resume under a different one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Workload {
     /// Benchmark name (used in reports).
     pub name: String,

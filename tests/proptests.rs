@@ -400,4 +400,63 @@ proptest! {
             prop_assert_eq!(r.end - r.start, r.component_sum());
         }
     }
+
+    /// Checkpoint/restore transparency: snapshotting a run at an arbitrary
+    /// batch index, round-tripping the snapshot through JSON, restoring,
+    /// and running to completion is bit-identical to the uninterrupted
+    /// run — for any workload shape, seed, and checkpoint position
+    /// (including positions past the end of the run, where no checkpoint
+    /// is taken at all).
+    #[test]
+    fn snapshot_restore_is_bit_identical(
+        warps in 8u32..32,
+        ppw in 2u64..8,
+        checkpoint_at in 1u64..40,
+        seed in 0u64..1000,
+    ) {
+        use uvm_core::{Progress, RunHints, RunInProgress, SystemSnapshot};
+
+        let w = stream::build(StreamParams {
+            warps,
+            pages_per_warp: ppw,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: Some(CpuInitPolicy::Striped { threads: 4 }),
+        });
+        // Small enough to force evictions for the larger shapes.
+        let config = SystemConfig::test_small(16 * 1024 * 1024).with_seed(seed);
+        let straight = UvmSystem::new(config.clone()).run(&w);
+
+        let mut run = UvmSystem::new(config)
+            .start(&w, &RunHints::default())
+            .expect("run starts");
+        let mut snap = None;
+        loop {
+            match run.advance_batch(&w).expect("batch services") {
+                Progress::Finished => break,
+                Progress::Batch(n) if n == checkpoint_at => {
+                    snap = Some(run.snapshot(&w, 0));
+                    break;
+                }
+                Progress::Batch(_) => {}
+            }
+        }
+        let result = match snap {
+            Some(s) => {
+                // Full fidelity must survive the on-disk encoding.
+                let json = serde_json::to_string(&s).expect("snapshot serializes");
+                let back: SystemSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+                let mut resumed = RunInProgress::restore(&back, &w).expect("snapshot restores");
+                while resumed.advance_batch(&w).expect("batch services") != Progress::Finished {}
+                resumed.into_result(&w)
+            }
+            // The run finished before the checkpoint index came up.
+            None => run.into_result(&w),
+        };
+        prop_assert_eq!(
+            serde_json::to_string(&straight).expect("result serializes"),
+            serde_json::to_string(&result).expect("result serializes"),
+            "restored run must be byte-identical to the uninterrupted run"
+        );
+    }
 }

@@ -311,6 +311,94 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::invalid_type("array", other)),
+        }
+    }
+}
+
+// Maps and sets serialize in ascending key order so that two structurally
+// equal containers always produce the same Value tree regardless of hash
+// iteration order — a requirement for snapshot digests and byte-identical
+// JSON dumps. Keys are arbitrary serializable types, so a map is encoded as
+// an array of `[key, value]` pairs rather than a JSON object.
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Array(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs: Vec<(K, V)> = Vec::from_value(v)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs: Vec<(K, V)> = Vec::from_value(v)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
@@ -340,6 +428,37 @@ mod tests {
         let back: [u64; 3] = Deserialize::from_value(&v).unwrap();
         assert_eq!(back, a);
         assert!(<[u64; 2]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn hash_containers_serialize_in_sorted_order() {
+        let m: std::collections::HashMap<u32, &str> =
+            [(3, "c"), (1, "a"), (2, "b")].into_iter().collect();
+        let v = m.to_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![
+                Value::Array(vec![Value::NumU(1), Value::Str("a".into())]),
+                Value::Array(vec![Value::NumU(2), Value::Str("b".into())]),
+                Value::Array(vec![Value::NumU(3), Value::Str("c".into())]),
+            ])
+        );
+        let back: std::collections::HashMap<u32, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[&2], "b");
+
+        let s: std::collections::HashSet<i64> = [5, -1, 2].into_iter().collect();
+        assert_eq!(
+            s.to_value(),
+            Value::Array(vec![Value::NumI(-1), Value::NumU(2), Value::NumU(5)])
+        );
+    }
+
+    #[test]
+    fn vecdeque_round_trip() {
+        let d: std::collections::VecDeque<u8> = [9, 8, 7].into_iter().collect();
+        let back: std::collections::VecDeque<u8> = Deserialize::from_value(&d.to_value()).unwrap();
+        assert_eq!(back, d);
     }
 
     #[test]

@@ -330,12 +330,21 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 character (may be multi-byte).
-                    let s = std::str::from_utf8(rest)
+                    // Copy the whole contiguous run of unescaped bytes at
+                    // once. Validating per-character with `from_utf8(rest)`
+                    // would rescan the remaining input for every character,
+                    // turning string parsing quadratic — ruinous on
+                    // multi-megabyte snapshot files. UTF-8 continuation
+                    // bytes are 0x80..=0xBF, so scanning for the raw quote
+                    // and backslash bytes cannot split a multi-byte char.
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .ok_or_else(|| Error::new("unterminated string"))?;
+                    let s = std::str::from_utf8(&rest[..run])
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(s);
+                    self.pos += run;
                 }
             }
         }
