@@ -24,6 +24,23 @@
 //! output of the killed invocation and the resumed one is byte-identical
 //! to an uninterrupted run.
 //!
+//! ## Tracing
+//!
+//! ```text
+//! paper list                                   # enumerate experiment ids
+//! paper trace fig3 --out target/trace          # run fig3 with a RingTracer
+//! paper trace fig3 --out d --trace-filter driver,batch-close
+//! ```
+//!
+//! `trace` installs a bounded [`uvm_core::trace::RingTracer`], runs the
+//! selected experiment with *byte-identical* stdout (tracing is
+//! perturbation-free), and writes four artifacts to `--out`: a Chrome
+//! `trace_event` JSON (load in Perfetto or `chrome://tracing`), a CSV
+//! event dump, the per-batch latency-breakdown table, and the
+//! trace-derived fault-latency distribution. With no `--trace-filter` it
+//! also asserts that every complete batch's span breakdown reconciles
+//! exactly with its `BatchClose` component vector.
+//!
 //! ## Other maintenance commands
 //!
 //! `--bless` rewrites the checked-in golden files from the current output;
@@ -36,6 +53,8 @@ use uvm_core::divergence::{run_lockstep_perturbed, LockstepOutcome};
 use uvm_core::experiments::*;
 use uvm_core::runctl::{self, RunCtl};
 use uvm_core::workloads::cpu_init::CpuInitPolicy;
+use uvm_core::stats::{percentile, Histogram, Summary};
+use uvm_core::trace::{self as trace, RingTracer, TraceFilter};
 use uvm_core::workloads::stream::{self, StreamParams};
 use uvm_core::SystemConfig;
 
@@ -202,9 +221,142 @@ fn diverge_demo(perturb_at: u64) {
     }
 }
 
+/// Map loose experiment spellings onto harness ids: `fig03_vecadd` (the
+/// experiment module name) and `fig03` both resolve to `fig3`.
+fn canonical_id(spec: &str) -> String {
+    let spec = spec.split('_').next().unwrap_or(spec);
+    for prefix in ["fig", "table"] {
+        if let Some(digits) = spec.strip_prefix(prefix) {
+            if !digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit()) {
+                let n = digits.trim_start_matches('0');
+                return format!("{prefix}{}", if n.is_empty() { "0" } else { n });
+            }
+        }
+    }
+    spec.to_string()
+}
+
+/// Render the trace-derived fault-latency distribution (the Figure-1-style
+/// histogram) as text.
+fn latency_report(lifetimes: &[u64]) -> String {
+    if lifetimes.is_empty() {
+        return "no fault lifetimes captured (no fault-serviced events in trace)\n".into();
+    }
+    let us: Vec<f64> = lifetimes.iter().map(|&ns| ns as f64 / 1000.0).collect();
+    let s = Summary::of(&us);
+    let mut out = format!(
+        "fault service latency over {} faults (buffer arrival -> batch close)\n\
+         mean {:.1} us  std {:.1} us  min {:.1} us  median {:.1} us  p99 {:.1} us  max {:.1} us\n\n",
+        s.n,
+        s.mean,
+        s.std_dev,
+        s.min,
+        s.median,
+        percentile(&us, 99.0),
+        s.max
+    );
+    let hi = s.max.max(s.min + 1.0);
+    let mut hist = Histogram::new(s.min, hi, 16);
+    for &v in &us {
+        hist.add(v);
+    }
+    let peak = (0..hist.bins()).map(|i| hist.count(i)).max().unwrap_or(1).max(1);
+    out.push_str(&format!("{:>12} {:>8}  histogram\n", "center_us", "count"));
+    for (center, count) in hist.centers() {
+        let bar = "#".repeat(((count * 40).div_ceil(peak)) as usize);
+        out.push_str(&format!("{center:>12.1} {count:>8}  {bar}\n"));
+    }
+    out
+}
+
+/// Run one experiment under a [`RingTracer`] and export the recorded
+/// trace. Stdout is byte-identical to an untraced run of the same
+/// experiment (tracing is perturbation-free); the artifacts and a summary
+/// go to `--out` and stderr.
+fn trace_experiment(spec: &str, out_dir: Option<&str>, filter_spec: Option<&str>) {
+    let all = experiments();
+    let id = canonical_id(spec);
+    let Some(e) = all.iter().find(|e| e.id == id) else {
+        eprintln!(
+            "unknown experiment '{spec}'; available: {}",
+            all.iter().map(|e| e.id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(1);
+    };
+    let Some(out_dir) = out_dir else {
+        eprintln!("paper trace requires --out <dir> for the trace artifacts");
+        std::process::exit(2);
+    };
+    let filter = match filter_spec {
+        None => TraceFilter::all(),
+        Some(spec) => TraceFilter::parse(spec).unwrap_or_else(|err| {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }),
+    };
+    std::fs::create_dir_all(out_dir).expect("create trace output dir");
+
+    trace::install(Box::new(RingTracer::with_filter(1 << 22, filter)));
+    let t0 = Instant::now();
+    let (text, _value) = (e.run)();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let tracer = trace::uninstall().expect("tracer still installed after run");
+    let ring = tracer.as_ring().expect("installed backend is a ring");
+    let records: Vec<_> = ring.records().cloned().collect();
+
+    // Identical stdout to the untraced path — CI diffs this byte-for-byte
+    // (modulo the wall-clock timing suffix).
+    println!("================================================================");
+    println!("{}   [{elapsed:.2}s]", e.title);
+    println!("================================================================");
+    println!("{text}\n");
+
+    let breakdowns = trace::breakdown(&records);
+    let lifetimes = trace::fault_lifetimes(&records);
+    let artifacts = [
+        (format!("{out_dir}/{id}.trace.json"), trace::chrome_trace(&records)),
+        (format!("{out_dir}/{id}.trace.csv"), trace::csv(&records)),
+        (format!("{out_dir}/{id}.breakdown.txt"), trace::breakdown_table(&breakdowns)),
+        (format!("{out_dir}/{id}.latency.txt"), latency_report(&lifetimes)),
+    ];
+    for (path, contents) in &artifacts {
+        std::fs::write(path, contents).expect("write trace artifact");
+        eprintln!("wrote {path}");
+    }
+
+    let complete = breakdowns.iter().filter(|b| b.complete()).count();
+    eprintln!(
+        "trace: {} events captured ({} evicted), {} batches ({} complete), {} fault lifetimes",
+        records.len(),
+        ring.dropped(),
+        breakdowns.len(),
+        complete,
+        lifetimes.len()
+    );
+    if filter_spec.is_none() {
+        // With the full event stream, every complete batch's component
+        // spans must tile to exactly its BatchClose vector.
+        let broken: Vec<_> = breakdowns
+            .iter()
+            .filter(|b| b.complete() && !b.reconciled())
+            .map(|b| (b.run, b.batch))
+            .collect();
+        if broken.is_empty() {
+            eprintln!("reconciliation: all {complete} complete batches match their BatchClose breakdown");
+        } else {
+            eprintln!("error: span/BatchClose breakdown mismatch in batches {broken:?}");
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!("reconciliation check skipped (--trace-filter may drop component spans)");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut trace_filter: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut bless = false;
     let mut ctl = RunCtl::default();
@@ -212,6 +364,8 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_dir = it.next(),
+            "--out" => out_dir = it.next(),
+            "--trace-filter" => trace_filter = it.next(),
             "--bless" => bless = true,
             "--checkpoint-every" => {
                 let n = it
@@ -231,6 +385,13 @@ fn main() {
     }
     let filter = positional.first().cloned();
 
+    if filter.as_deref() == Some("list") {
+        for e in experiments() {
+            println!("{:<14} {}", e.id, e.title);
+        }
+        return;
+    }
+
     if filter.as_deref() == Some("diverge") {
         // Optional trailing batch number; default to a mid-run batch.
         let at = positional.get(1).and_then(|v| v.parse().ok()).unwrap_or(3);
@@ -241,6 +402,15 @@ fn main() {
     if let Err(e) = runctl::configure(ctl) {
         eprintln!("error: {e}");
         std::process::exit(1);
+    }
+
+    if filter.as_deref() == Some("trace") {
+        let Some(id) = positional.get(1) else {
+            eprintln!("usage: paper trace <experiment> --out <dir> [--trace-filter <spec>]");
+            std::process::exit(2);
+        };
+        trace_experiment(id, out_dir.as_deref(), trace_filter.as_deref());
+        return;
     }
 
     let all = experiments();

@@ -61,4 +61,5 @@ pub use uvm_gpu as gpu;
 pub use uvm_hostos as hostos;
 pub use uvm_sim as sim;
 pub use uvm_stats as stats;
+pub use uvm_trace as trace;
 pub use uvm_workloads as workloads;

@@ -101,6 +101,14 @@ pub struct SystemSnapshot {
     /// Digests of the four state trees, for integrity checking and
     /// divergence comparison.
     pub digests: SubsystemDigests,
+    /// Serialized tracer state ([`uvm_trace::TraceState`]) when the run
+    /// was captured with a ring tracer installed; `Null` otherwise (and
+    /// in snapshots written before tracing existed, which deserialize the
+    /// missing field as `Null`). Deliberately excluded from the
+    /// subsystem digests: the tracer observes the simulation without
+    /// being part of its state, so traced and untraced checkpoints of
+    /// the same run remain digest-identical.
+    pub trace: Value,
 }
 
 impl SystemSnapshot {
@@ -209,6 +217,7 @@ mod tests {
                 host: digest_value(&Value::NumU(3)),
                 run: digest_value(&Value::NumU(4)),
             },
+            trace: Value::Null,
         };
         let dir = std::env::temp_dir().join("uvm-snap-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -239,6 +248,7 @@ mod tests {
                 host: digest_value(&Value::NumU(3)),
                 run: digest_value(&Value::NumU(4)),
             },
+            trace: Value::Null,
         };
         snap.driver = Value::NumU(99);
         let err = snap.verify_integrity().unwrap_err();

@@ -311,6 +311,12 @@ impl UvmSystem {
         workload: &Workload,
         hints: &RunHints,
     ) -> Result<RunInProgress, UvmError> {
+        // Separates batch-id spaces when one trace covers several runs
+        // (batch sequence numbers restart per driver instance).
+        uvm_trace::emit_instant(0, || uvm_trace::TraceEvent::RunBegin {
+            workload: workload.name.clone(),
+        });
+
         // Register managed allocations, then replay CPU-side
         // initialization (first-touch mapping + host-data tracking).
         for alloc in &workload.allocations {
@@ -460,7 +466,11 @@ impl RunInProgress {
         }
         let range = kernels[self.kernel_cursor].clone();
         self.kernel_cursor += 1;
+        let ordinal = (self.kernel_cursor - 1) as u64;
         let start = self.queue.now().max(self.t0);
+        uvm_trace::emit_instant(start.0, || uvm_trace::TraceEvent::KernelLaunch {
+            kernel: ordinal,
+        });
         for wid in self.system.gpu.launch(workload.programs[range].to_vec()) {
             self.queue.schedule(start, Event::WarpStep(wid));
         }
@@ -563,7 +573,10 @@ impl RunInProgress {
                         // the ablation keeps stale entries, which later
                         // batches then fetch.)
                         if self.system.config.policy.flush_on_replay {
-                            self.system.gpu.flush();
+                            let dropped = self.system.gpu.flush();
+                            uvm_trace::emit_instant(now.0, || {
+                                uvm_trace::TraceEvent::BufferFlush { dropped }
+                            });
                         }
                         let replay_done = now + self.system.config.cost.replay_latency;
                         for (wid, wake) in self.system.gpu.replay(replay_done) {
@@ -575,6 +588,10 @@ impl RunInProgress {
             // Queue drained: the in-flight kernel (if any) completed.
             if let Some(start) = self.current_kernel_start.take() {
                 self.kernel_spans.push((start, self.system.gpu.kernel_end));
+                let ordinal = (self.kernel_spans.len() - 1) as u64;
+                uvm_trace::emit_instant(self.system.gpu.kernel_end.0, || {
+                    uvm_trace::TraceEvent::KernelComplete { kernel: ordinal }
+                });
             }
             if !self.launch_next_kernel(workload) {
                 return Ok(Progress::Finished);
@@ -675,6 +692,12 @@ impl RunInProgress {
             host,
             run,
             digests,
+            // Ring-tracer state rides along (outside the digests) so a
+            // resumed run continues tracing without duplicating or
+            // dropping events; Null when tracing is off.
+            trace: uvm_trace::snapshot_state()
+                .map(|s| s.to_value())
+                .unwrap_or(Value::Null),
         }
     }
 
@@ -712,6 +735,14 @@ impl RunInProgress {
         let driver = UvmDriver::from_value(&snap.driver).map_err(|e| invalid("driver", e))?;
         let host = HostMemory::from_value(&snap.host).map_err(|e| invalid("host", e))?;
         let run = RunState::from_value(&snap.run).map_err(|e| invalid("run", e))?;
+        // Reinstate tracer state captured with the checkpoint. Restoring a
+        // traced checkpoint with tracing disabled simply drops the buffered
+        // events (the simulation itself is unaffected either way).
+        let trace_state = Option::<uvm_trace::TraceState>::from_value(&snap.trace)
+            .map_err(|e| invalid("trace", e))?;
+        if let Some(state) = trace_state {
+            uvm_trace::restore_state(state);
+        }
         Ok(RunInProgress {
             system: UvmSystem {
                 config,

@@ -37,10 +37,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn advise_serializes() {
-        let json = serde_json::to_string(&MemAdvise::ReadMostly).unwrap();
+    fn advise_serializes() -> Result<(), serde_json::Error> {
+        let json = serde_json::to_string(&MemAdvise::ReadMostly)?;
         assert!(json.contains("ReadMostly"));
-        let back: MemAdvise = serde_json::from_str(&json).unwrap();
+        let back: MemAdvise = serde_json::from_str(&json)?;
         assert_eq!(back, MemAdvise::ReadMostly);
+        Ok(())
     }
 }

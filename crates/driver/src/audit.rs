@@ -183,7 +183,7 @@ mod tests {
     }
 
     #[test]
-    fn consistent_system_has_no_violations() {
+    fn consistent_system_has_no_violations() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup();
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(2 * VABLOCK_SIZE);
@@ -194,19 +194,18 @@ mod tests {
         let faults: Vec<_> = (0..100).map(|i| fault(alloc.page(i * 5))).collect();
         // service_batch itself audits (policy.audited(true)) and would
         // return Err on any violation.
-        driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0)).unwrap();
+        driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0))?;
         assert!(violations(&driver, &gpu, &host).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn desynced_gpu_page_table_is_reported() {
+    fn desynced_gpu_page_table_is_reported() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup();
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
-        driver
-            .service_batch(&[fault(alloc.page(0))], &mut gpu, &mut host, SimTime(0))
-            .unwrap();
+        driver.service_batch(&[fault(alloc.page(0))], &mut gpu, &mut host, SimTime(0))?;
         // Corrupt: drop the page from the GPU page table behind the
         // driver's back.
         gpu.unmap_pages([alloc.page(0)]);
@@ -217,35 +216,33 @@ mod tests {
             UvmError::InvariantViolation { subsystem: "gpu-pt", .. }
         )));
         assert!(audit(&driver, &gpu, &host).is_err());
+        Ok(())
     }
 
     #[test]
-    fn desynced_memory_manager_is_reported() {
+    fn desynced_memory_manager_is_reported() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup();
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
-        driver
-            .service_batch(&[fault(alloc.page(0))], &mut gpu, &mut host, SimTime(0))
-            .unwrap();
-        let id = alloc.va_blocks().next().unwrap();
+        driver.service_batch(&[fault(alloc.page(0))], &mut gpu, &mut host, SimTime(0))?;
+        let id = alloc.va_blocks().next().expect("allocation spans a block");
         driver.mem.release(id); // behind the driver's back
         let vs = violations(&driver, &gpu, &host);
         assert!(vs.iter().any(|e| matches!(
             e,
             UvmError::InvariantViolation { subsystem: "gpu-mem", .. }
         )));
+        Ok(())
     }
 
     #[test]
-    fn lingering_cpu_mapping_is_reported() {
+    fn lingering_cpu_mapping_is_reported() -> Result<(), UvmError> {
         let (mut driver, mut gpu, mut host) = setup();
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
-        driver
-            .service_batch(&[fault(alloc.page(0))], &mut gpu, &mut host, SimTime(0))
-            .unwrap();
+        driver.service_batch(&[fault(alloc.page(0))], &mut gpu, &mut host, SimTime(0))?;
         // Corrupt: CPU remaps a migrated page without the driver noticing.
         host.cpu_touch(alloc.page(0), 0, true);
         let vs = violations(&driver, &gpu, &host);
@@ -253,5 +250,6 @@ mod tests {
             e,
             UvmError::InvariantViolation { subsystem: "host-pt", .. }
         )));
+        Ok(())
     }
 }

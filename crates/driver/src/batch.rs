@@ -154,6 +154,24 @@ impl BatchRecord {
         self.dup_same_utlb + self.dup_cross_utlb
     }
 
+    /// The component times as nanoseconds in [`uvm_trace::COMPONENTS`]
+    /// order — the vector carried by the `batch-close` trace event, and
+    /// the exact quantity the trace-side breakdown reconciles against.
+    pub fn component_ns(&self) -> [u64; 10] {
+        [
+            self.t_fetch.as_nanos(),
+            self.t_preprocess.as_nanos(),
+            self.t_dma_setup.as_nanos(),
+            self.t_unmap.as_nanos(),
+            self.t_populate.as_nanos(),
+            self.t_transfer.as_nanos(),
+            self.t_evict.as_nanos(),
+            self.t_pte.as_nanos(),
+            self.t_fixed.as_nanos(),
+            self.t_backoff.as_nanos(),
+        ]
+    }
+
     /// Sum of the recorded component times (consistency check against
     /// `service_time`, which also includes rounding from jitter).
     pub fn component_sum(&self) -> SimDuration {
@@ -251,14 +269,35 @@ mod tests {
     }
 
     #[test]
-    fn record_serializes() {
+    fn record_serializes() -> Result<(), serde_json::Error> {
         let r = BatchRecord {
             seq: 7,
             raw_faults: 256,
             unique_pages: 100,
             ..Default::default()
         };
-        let json = serde_json::to_string(&r).unwrap();
+        let json = serde_json::to_string(&r)?;
         assert!(json.contains("\"raw_faults\":256"));
+        Ok(())
+    }
+
+    #[test]
+    fn component_ns_matches_component_sum() {
+        let r = BatchRecord {
+            t_fetch: SimDuration(1),
+            t_preprocess: SimDuration(2),
+            t_dma_setup: SimDuration(3),
+            t_unmap: SimDuration(4),
+            t_populate: SimDuration(5),
+            t_transfer: SimDuration(6),
+            t_evict: SimDuration(7),
+            t_pte: SimDuration(8),
+            t_fixed: SimDuration(9),
+            t_backoff: SimDuration(10),
+            ..Default::default()
+        };
+        assert_eq!(r.component_ns().iter().sum::<u64>(), r.component_sum().as_nanos());
+        assert_eq!(r.component_ns()[0], 1);
+        assert_eq!(r.component_ns()[9], 10);
     }
 }

@@ -32,8 +32,35 @@ use uvm_sim::mem::{Allocation, VaBlockId, PAGE_SIZE};
 use uvm_sim::rng::DetRng;
 use uvm_sim::time::{SimDuration, SimTime};
 
+use uvm_trace::TraceEvent;
+
 use crate::advise::MemAdvise;
 use crate::batch::{BatchRecord, FaultMeta};
+
+/// Emit a component span for a duration just added to `rec`.
+///
+/// Must be called immediately after `rec.t_* += dur`: the record's
+/// component times only grow, in program order, so placing the span at
+/// `rec.start + component_sum − dur` tiles the batch's service interval
+/// contiguously, and the per-component span sums equal the record's final
+/// `t_*` fields exactly — the invariant the trace-side breakdown
+/// reconciliation relies on. Purely observational: no driver state (and
+/// no RNG stream) is touched.
+#[inline]
+fn span(rec: &BatchRecord, dur: SimDuration, event: impl FnOnce() -> TraceEvent) {
+    if uvm_trace::enabled() {
+        let end = rec.start.0 + rec.component_sum().as_nanos();
+        uvm_trace::emit_span(end - dur.as_nanos(), dur.as_nanos(), event);
+    }
+}
+
+/// Emit an instant at the batch's current accumulated position.
+#[inline]
+fn mark(rec: &BatchRecord, event: impl FnOnce() -> TraceEvent) {
+    if uvm_trace::enabled() {
+        uvm_trace::emit_instant(rec.start.0 + rec.component_sum().as_nanos(), event);
+    }
+}
 use crate::bitmap::PageBitmap;
 use crate::dedup::classify_duplicates;
 use crate::evict::{EvictOutcome, GpuMemoryManager};
@@ -194,6 +221,11 @@ impl UvmDriver {
             driver_prefetch_op: true,
             ..Default::default()
         };
+        uvm_trace::emit_instant(start.0, || TraceEvent::BatchOpen {
+            batch: seq,
+            raw_faults: 0,
+            prefetch_op: true,
+        });
         for block_id in alloc.va_blocks() {
             let state = self.va_space.try_block(block_id)?;
             if state.degraded {
@@ -208,13 +240,27 @@ impl UvmDriver {
             rec.served_blocks.push(block_id.0);
             rec.per_block_faults.push(0);
             rec.t_fixed += self.cost.per_vablock_fixed;
+            span(&rec, self.cost.per_vablock_fixed, || TraceEvent::VaBlockLock {
+                batch: seq,
+                block: block_id.0,
+                faults: 0,
+            });
             self.ensure_block_allocated(block_id, seq, gpu, &mut rec)?;
             self.setup_block_dma(block_id, &mut rec)?;
             self.unmap_block_if_needed(block_id, host, &mut rec)?;
             self.try_migrate_with_recovery(block_id, &migrate, gpu, &mut rec)?;
         }
         rec.t_fixed += self.cost.per_batch_fixed;
+        span(&rec, self.cost.per_batch_fixed, || TraceEvent::Fixed { batch: seq });
         rec.end = start + rec.component_sum();
+        uvm_trace::emit_instant(rec.end.0, || TraceEvent::BatchClose {
+            batch: seq,
+            raw_faults: rec.raw_faults,
+            unique_pages: rec.unique_pages,
+            pages_migrated: rec.pages_migrated,
+            bytes_migrated: rec.bytes_migrated,
+            components: rec.component_ns().to_vec(),
+        });
         let end = rec.end;
         self.records.push(rec);
         Ok(end)
@@ -259,6 +305,12 @@ impl UvmDriver {
             ..Default::default()
         };
 
+        uvm_trace::emit_instant(start.0, || TraceEvent::BatchOpen {
+            batch: seq,
+            raw_faults: faults.len() as u64,
+            prefetch_op: false,
+        });
+
         // ---- attribute hardware-buffer drops since the last batch ----
         let total_drops = gpu.fault_buffer.overflow_drops();
         rec.dropped_faults = total_drops.saturating_sub(self.overflow_seen);
@@ -272,12 +324,18 @@ impl UvmDriver {
                 return Err(UvmError::BatchFetchStall { batch: seq });
             }
             rec.retries += 1;
-            rec.t_backoff += self.backoff(attempt);
+            let d = self.backoff(attempt);
+            rec.t_backoff += d;
+            span(&rec, d, || TraceEvent::Backoff { batch: seq, stage: "fetch".into() });
             attempt += 1;
         }
 
         // ---- fetch + composition accounting ----
         rec.t_fetch = self.cost.fetch_per_fault * faults.len() as u64;
+        span(&rec, rec.t_fetch, || TraceEvent::Fetch {
+            batch: seq,
+            faults: faults.len() as u64,
+        });
         let mut sms = HashSet::new();
         let mut utlbs = HashSet::new();
         for f in faults {
@@ -324,6 +382,30 @@ impl UvmDriver {
                 + self.cost.pte_update_per_page)
                 * redundant;
         }
+        span(&rec, rec.t_preprocess, || TraceEvent::Preprocess {
+            batch: seq,
+            faults: faults.len() as u64,
+        });
+        mark(&rec, || TraceEvent::DedupHit {
+            batch: seq,
+            same_utlb: dedup.dup_same_utlb,
+            cross_utlb: dedup.dup_cross_utlb,
+            unique: dedup.unique.len() as u64,
+        });
+        if uvm_trace::enabled() {
+            // Lifetime anchors: one per unique fault entering service, with
+            // its buffer-arrival time (joined to this batch's close by the
+            // fault-lifetime exporter).
+            for f in &dedup.unique {
+                uvm_trace::emit_instant(start.0, || TraceEvent::FaultServiced {
+                    batch: seq,
+                    page: f.page.0,
+                    sm: f.sm,
+                    utlb: f.utlb,
+                    arrival_ns: f.arrival.0,
+                });
+            }
+        }
 
         // ---- group by VABlock (BTreeMap: deterministic service order) ----
         let mut groups: BTreeMap<VaBlockId, Vec<FaultRecord>> = BTreeMap::new();
@@ -335,6 +417,11 @@ impl UvmDriver {
         // ---- per-VABlock servicing ----
         for (block_id, block_faults) in groups {
             rec.t_fixed += self.cost.per_vablock_fixed;
+            span(&rec, self.cost.per_vablock_fixed, || TraceEvent::VaBlockLock {
+                batch: seq,
+                block: block_id.0,
+                faults: block_faults.len() as u64,
+            });
             rec.served_blocks.push(block_id.0);
             rec.per_block_faults.push(block_faults.len() as u32);
 
@@ -400,6 +487,11 @@ impl UvmDriver {
                 self.setup_block_dma(block_id, &mut rec)?;
                 let n = faulted.count() as u64;
                 rec.t_pte += self.cost.pte_time(n);
+                span(&rec, self.cost.pte_time(n), || TraceEvent::PteUpdate {
+                    batch: seq,
+                    block: block_id.0,
+                    pages: n,
+                });
                 rec.remote_mapped_pages += n;
                 let state = self.va_space.block_mut(block_id);
                 state.remote_mapped.merge(&faulted);
@@ -419,6 +511,12 @@ impl UvmDriver {
                 PageBitmap::EMPTY
             };
             rec.prefetched_pages += prefetched.count() as u64;
+            mark(&rec, || TraceEvent::PrefetchDecision {
+                batch: seq,
+                block: block_id.0,
+                faulted: faulted.count() as u64,
+                prefetched: prefetched.count() as u64,
+            });
             let migrate = faulted.or(&prefetched);
             if migrate.is_empty() {
                 // Stale faults for already-resident pages: management cost
@@ -458,8 +556,20 @@ impl UvmDriver {
         let jitter = self.rng.jitter_factor(self.cost.service_jitter);
         let jittered_extra = mgmt.mul_f64(jitter).saturating_sub(mgmt);
         rec.t_fixed += jittered_extra;
+        // One span covering the per-batch fixed overhead plus its jitter.
+        span(&rec, self.cost.per_batch_fixed + jittered_extra, || TraceEvent::Fixed {
+            batch: seq,
+        });
 
         rec.end = start + rec.component_sum();
+        uvm_trace::emit_instant(rec.end.0, || TraceEvent::BatchClose {
+            batch: seq,
+            raw_faults: rec.raw_faults,
+            unique_pages: rec.unique_pages,
+            pages_migrated: rec.pages_migrated,
+            bytes_migrated: rec.bytes_migrated,
+            components: rec.component_ns().to_vec(),
+        });
         self.records.push(rec);
         if self.policy.audit_enabled {
             crate::audit::audit(self, gpu, host)?;
@@ -511,14 +621,26 @@ impl UvmDriver {
                     // returns to host RAM but is NOT re-mapped into CPU
                     // page tables — so a re-migration later skips the
                     // unmap cost (the Fig. 13 levels).
-                    rec.t_evict += self.cost.alloc_fail
+                    let d = self.cost.alloc_fail
                         + self.cost.evict_fixed
                         + self.cost.d2h_time(bytes);
+                    rec.t_evict += d;
+                    span(rec, d, || TraceEvent::Evict {
+                        batch: rec.seq,
+                        victim: Some(victim.0),
+                        bytes,
+                    });
                     gpu.unmap_pages(evict_pages);
                     vstate.evict();
                     vstate.last_evict_seq = Some(rec.seq);
                 }
                 rec.t_evict += self.cost.service_restart;
+                // Victimless span: the service-restart surcharge.
+                span(rec, self.cost.service_restart, || TraceEvent::Evict {
+                    batch: rec.seq,
+                    victim: None,
+                    bytes: 0,
+                });
                 self.va_space.try_block_mut(block_id)?.gpu_allocated = true;
             }
         }
@@ -547,7 +669,12 @@ impl UvmDriver {
                         return Err(e);
                     }
                     rec.retries += 1;
-                    rec.t_backoff += self.backoff(attempt);
+                    let d = self.backoff(attempt);
+                    rec.t_backoff += d;
+                    span(rec, d, || TraceEvent::Backoff {
+                        batch: rec.seq,
+                        stage: "dma".into(),
+                    });
                     attempt += 1;
                 }
             }
@@ -560,7 +687,9 @@ impl UvmDriver {
         let tail = self
             .rng
             .heavy_tail(self.cost.dma_tail_prob, self.cost.dma_tail_max_factor);
-        rec.t_dma_setup += base.mul_f64(tail);
+        let d = base.mul_f64(tail);
+        rec.t_dma_setup += d;
+        span(rec, d, || TraceEvent::DmaSetup { batch: rec.seq, block: block_id.0 });
         self.va_space.try_block_mut(block_id)?.dma_mapped = true;
         rec.new_va_blocks += 1;
         Ok(())
@@ -589,16 +718,27 @@ impl UvmDriver {
                         return Err(e);
                     }
                     rec.retries += 1;
-                    rec.t_backoff += self.backoff(attempt);
+                    let d = self.backoff(attempt);
+                    rec.t_backoff += d;
+                    span(rec, d, || TraceEvent::Backoff {
+                        batch: rec.seq,
+                        stage: "unmap".into(),
+                    });
                     attempt += 1;
                 }
             }
         };
         rec.cpu_pages_unmapped += report.pages_unmapped;
-        rec.t_unmap += self
+        let d = self
             .cost
             .unmap_time(report.pages_unmapped, report.mapper_cores)
             .mul_f64(report.numa_factor);
+        rec.t_unmap += d;
+        span(rec, d, || TraceEvent::CpuUnmap {
+            batch: rec.seq,
+            block: block_id.0,
+            pages: report.pages_unmapped,
+        });
         Ok(())
     }
 
@@ -621,7 +761,12 @@ impl UvmDriver {
                 return Ok(false);
             }
             rec.retries += 1;
-            rec.t_backoff += self.backoff(attempt);
+            let d = self.backoff(attempt);
+            rec.t_backoff += d;
+            span(rec, d, || TraceEvent::Backoff {
+                batch: rec.seq,
+                stage: "copy".into(),
+            });
             attempt += 1;
         }
         self.migrate_pages(block_id, migrate, gpu, rec)?;
@@ -654,13 +799,25 @@ impl UvmDriver {
                 resident.count() as u64 * PAGE_SIZE
             };
             rec.bytes_evicted += bytes;
-            rec.t_evict += self.cost.evict_fixed + self.cost.d2h_time(bytes);
+            let d = self.cost.evict_fixed + self.cost.d2h_time(bytes);
+            rec.t_evict += d;
+            // Degradation writeback: the block gives up its own allocation.
+            span(rec, d, || TraceEvent::Evict {
+                batch: rec.seq,
+                victim: Some(block_id.0),
+                bytes,
+            });
             gpu.unmap_pages(resident.iter_set().map(|i| block_id.page_at(i)));
             self.mem.release(block_id);
         }
         let remote = pages.or(&resident);
         let n = remote.count() as u64;
         rec.t_pte += self.cost.pte_time(n);
+        span(rec, self.cost.pte_time(n), || TraceEvent::PteUpdate {
+            batch: rec.seq,
+            block: block_id.0,
+            pages: n,
+        });
         rec.remote_mapped_pages += n;
         rec.degraded_blocks += 1;
         let state = self.va_space.try_block_mut(block_id)?;
@@ -693,8 +850,23 @@ impl UvmDriver {
         let data_pages = migrate.and(&state.host_data).count() as u64;
         let bytes = data_pages * PAGE_SIZE;
         rec.t_populate += self.cost.populate_time(n_pages);
+        span(rec, self.cost.populate_time(n_pages), || TraceEvent::Populate {
+            batch: rec.seq,
+            block: block_id.0,
+            pages: n_pages,
+        });
         rec.t_transfer += self.cost.h2d_time(bytes);
+        span(rec, self.cost.h2d_time(bytes), || TraceEvent::Transfer {
+            batch: rec.seq,
+            block: block_id.0,
+            bytes,
+        });
         rec.t_pte += self.cost.pte_time(n_pages);
+        span(rec, self.cost.pte_time(n_pages), || TraceEvent::PteUpdate {
+            batch: rec.seq,
+            block: block_id.0,
+            pages: n_pages,
+        });
         rec.pages_migrated += n_pages;
         rec.bytes_migrated += bytes;
 

@@ -164,7 +164,7 @@ mod tests {
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         vs.register(alloc);
-        let id = alloc.va_blocks().next().unwrap();
+        let id = alloc.va_blocks().next().expect("allocation spans a block");
         assert!(vs.try_block(id).is_ok());
     }
 }

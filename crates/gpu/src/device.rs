@@ -201,6 +201,12 @@ impl Gpu {
     /// keeps the single-warp microbenchmarks (Figs. 3–5) exactly timed.
     pub fn replay(&mut self, now: SimTime) -> Vec<(u32, SimTime)> {
         self.replays += 1;
+        let blocked_warps =
+            self.warps.iter().filter(|w| w.status == WarpStatus::Blocked).count() as u64;
+        uvm_trace::emit_instant(now.0, || uvm_trace::TraceEvent::Replay {
+            seq: self.replays,
+            woken: blocked_warps,
+        });
         for u in &mut self.utlbs {
             u.replay();
         }

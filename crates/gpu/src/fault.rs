@@ -27,6 +27,15 @@ impl AccessKind {
     pub fn occupies_utlb_slot(self) -> bool {
         !matches!(self, AccessKind::Prefetch)
     }
+
+    /// Trace-event representation of this access type.
+    pub fn trace(self) -> uvm_trace::TraceAccess {
+        match self {
+            AccessKind::Read => uvm_trace::TraceAccess::Read,
+            AccessKind::Write => uvm_trace::TraceAccess::Write,
+            AccessKind::Prefetch => uvm_trace::TraceAccess::Prefetch,
+        }
+    }
 }
 
 /// One fault-buffer entry.

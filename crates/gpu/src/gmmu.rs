@@ -147,7 +147,21 @@ impl Gmmu {
                 dup_of_outstanding: pf.dup_of_outstanding,
             };
             if buffer.push(record) {
+                uvm_trace::emit_instant(record.arrival.0, || uvm_trace::TraceEvent::FaultGenerated {
+                    page: record.page.0,
+                    kind: record.kind.trace(),
+                    sm: record.sm,
+                    utlb: record.utlb,
+                    warp: record.warp,
+                    dup: record.dup_of_outstanding,
+                });
                 inserted.push(record);
+            } else {
+                uvm_trace::emit_instant(record.arrival.0, || uvm_trace::TraceEvent::FaultDropped {
+                    page: record.page.0,
+                    sm: record.sm,
+                    utlb: record.utlb,
+                });
             }
         }
         inserted

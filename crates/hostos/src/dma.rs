@@ -81,7 +81,14 @@ impl DmaSpace {
         if self.injector.is_enabled() && self.injector.should_fail(now) {
             return Err(UvmError::DmaMapFailed { block: block.0 });
         }
-        Ok(self.map_pages(pages))
+        let report = self.map_pages(pages);
+        uvm_trace::emit_instant(now.0, || uvm_trace::TraceEvent::DmaMap {
+            block: block.0,
+            pages: report.pages_mapped,
+            already_mapped: report.pages_already_mapped,
+            radix_nodes: report.radix_nodes_allocated,
+        });
+        Ok(report)
     }
 
     /// Create DMA mappings for `pages`, skipping pages already mapped.

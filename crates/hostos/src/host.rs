@@ -166,7 +166,15 @@ impl HostMemory {
             self.unmap_calls += 1;
             return Err(UvmError::HostPopulateFailed { block: block.0 });
         }
-        Ok(self.unmap_mapping_range(block))
+        let report = self.unmap_mapping_range(block);
+        uvm_trace::emit_instant(now.0, || uvm_trace::TraceEvent::HostUnmap {
+            block: block.0,
+            pages: report.pages_unmapped,
+            dirty: report.dirty_pages,
+            mapper_cores: report.mapper_cores as u64,
+            ipis: report.ipis as u64,
+        });
+        Ok(report)
     }
 
     /// Fault-path unmap of every CPU-resident page in `block`

@@ -202,6 +202,10 @@ pub struct PointInjector {
     burst: u32,
     rng: DetRng,
     fired: u64,
+    /// Which site this injector serves, for trace attribution. `None` for
+    /// the disabled placeholder (and for pre-tracing snapshots, which
+    /// lack the field).
+    point: Option<InjectionPoint>,
 }
 
 impl Default for PointInjector {
@@ -221,11 +225,16 @@ impl PointInjector {
             burst: 1,
             rng: DetRng::new(0),
             fired: 0,
+            point: None,
         }
     }
 
     /// Build from a plan with a dedicated RNG stream.
     pub fn new(plan: &PointPlan, rng: DetRng) -> Self {
+        PointInjector::for_point(plan, rng, None)
+    }
+
+    fn for_point(plan: &PointPlan, rng: DetRng, point: Option<InjectionPoint>) -> Self {
         let mut schedule = plan.at.clone();
         schedule.sort_unstable();
         PointInjector {
@@ -236,6 +245,7 @@ impl PointInjector {
             burst: plan.burst.max(1),
             rng,
             fired: 0,
+            point,
         }
     }
 
@@ -252,21 +262,28 @@ impl PointInjector {
     pub fn should_fail(&mut self, now: SimTime) -> bool {
         if self.burst_left > 0 {
             self.burst_left -= 1;
-            self.fired += 1;
+            self.fire(now);
             return true;
         }
         if self.next_at < self.schedule.len() && now >= self.schedule[self.next_at] {
             self.next_at += 1;
             self.burst_left = self.burst - 1;
-            self.fired += 1;
+            self.fire(now);
             return true;
         }
         if self.probability > 0.0 && self.rng.chance(self.probability) {
             self.burst_left = self.burst - 1;
-            self.fired += 1;
+            self.fire(now);
             return true;
         }
         false
+    }
+
+    fn fire(&mut self, now: SimTime) {
+        self.fired += 1;
+        uvm_trace::emit_instant(now.0, || uvm_trace::TraceEvent::InjectionFired {
+            point: self.point.map(InjectionPoint::name).unwrap_or("unattributed").to_string(),
+        });
     }
 
     /// Total failures produced so far.
@@ -291,7 +308,7 @@ impl Injector {
     pub fn new(plan: &FaultPlan, seed: u64) -> Self {
         let mut root = DetRng::new(seed ^ 0x001A_F1EC_7ED0_u64);
         let points = InjectionPoint::ALL
-            .map(|p| PointInjector::new(plan.point(p), root.fork(p.salt())));
+            .map(|p| PointInjector::for_point(plan.point(p), root.fork(p.salt()), Some(p)));
         Injector { points }
     }
 

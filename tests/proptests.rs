@@ -460,3 +460,65 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    // Each case runs two full simulations; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Trace reconciliation: for arbitrary workload shapes and seeds,
+    /// running under a RingTracer (1) leaves the run result bit-identical
+    /// to an untraced run, and (2) yields a per-batch breakdown whose
+    /// component spans tile to exactly each batch's `BatchClose` vector —
+    /// which is the batch record's own component breakdown — so the trace
+    /// totals equal the `report.rs` aggregate by construction.
+    #[test]
+    fn trace_breakdown_reconciles_with_report(
+        warps in 8u32..32,
+        ppw in 2u64..8,
+        seed in 0u64..1000,
+    ) {
+        use uvm_core::trace::{self, RingTracer};
+
+        let w = stream::build(StreamParams {
+            warps,
+            pages_per_warp: ppw,
+            iters: 1,
+            warps_per_page: 1,
+            cpu_init: Some(CpuInitPolicy::Striped { threads: 4 }),
+        });
+        // Small enough to force evictions for the larger shapes.
+        let config = SystemConfig::test_small(16 * 1024 * 1024).with_seed(seed);
+        let plain = UvmSystem::new(config.clone()).run(&w);
+
+        trace::install(Box::new(RingTracer::new(1 << 20)));
+        let traced = UvmSystem::new(config).run(&w);
+        let tracer = trace::uninstall().expect("tracer still installed");
+        let ring = tracer.as_ring().expect("ring backend");
+        let records: Vec<_> = ring.records().cloned().collect();
+        prop_assert_eq!(ring.dropped(), 0);
+
+        prop_assert_eq!(
+            serde_json::to_string(&plain).expect("result serializes"),
+            serde_json::to_string(&traced).expect("result serializes"),
+            "tracing must not perturb simulated results"
+        );
+
+        let breakdowns = trace::breakdown(&records);
+        prop_assert_eq!(breakdowns.len(), traced.records.len());
+        let mut want_totals = [0u64; 10];
+        for (b, r) in breakdowns.iter().zip(traced.records.iter()) {
+            prop_assert_eq!(b.batch, r.seq);
+            prop_assert!(b.complete(), "batch {} truncated", r.seq);
+            prop_assert!(
+                b.reconciled(),
+                "batch {}: spans {:?} != close {:?}",
+                r.seq, b.spans, b.close
+            );
+            prop_assert_eq!(b.close, Some(r.component_ns()));
+            for (slot, c) in want_totals.iter_mut().zip(r.component_ns()) {
+                *slot += c;
+            }
+        }
+        prop_assert_eq!(trace::totals(&breakdowns), want_totals);
+    }
+}
