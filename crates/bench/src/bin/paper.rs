@@ -4,11 +4,34 @@
 //! cargo run --release -p uvm-bench --bin paper            # everything
 //! cargo run --release -p uvm-bench --bin paper fig9       # one experiment
 //! cargo run --release -p uvm-bench --bin paper -- --json out   # + JSON dumps
+//! cargo run --release -p uvm-bench --bin paper -- --jobs 4     # parallel
 //! ```
 //!
 //! Each experiment prints the same rows/series the paper reports; with
 //! `--json <dir>` the raw result structs are also written as JSON for
 //! external plotting.
+//!
+//! ## Parallel execution
+//!
+//! `--jobs N` (default: the machine's available cores) fans independent
+//! experiments across a scoped worker pool and collects results in
+//! submission order, so stdout, golden files, and JSON dumps are
+//! byte-identical to a serial run — only the wall-clock `[N.NNs]`
+//! suffixes differ. `--jobs 1` forces the fully serial path. Checkpoint
+//! and resume runs are forced serial (the run-control ordinal is
+//! process-global).
+//!
+//! ## Benchmark baseline
+//!
+//! ```text
+//! paper bench --out BENCH_uvm.json [--jobs N] [--quick]
+//! ```
+//!
+//! writes a machine-readable perf summary: per-experiment serial wall
+//! times, the suite-level serial-vs-parallel comparison, and hand-rolled
+//! hot-loop micro timings (dedup fast path vs reference, one full
+//! `service_batch`, event queue, radix lookups). `--quick` trims micro
+//! reps and skips the parallel suite pass (CI smoke).
 //!
 //! ## Checkpoint / resume
 //!
@@ -49,139 +72,21 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use uvm_bench::{canonical_id, experiments, run_experiments, Experiment, ExperimentOutput, SEED};
 use uvm_core::divergence::{run_lockstep_perturbed, LockstepOutcome};
-use uvm_core::experiments::*;
+use uvm_core::experiments::bless_golden;
+use uvm_core::parallel;
 use uvm_core::runctl::{self, RunCtl};
-use uvm_core::workloads::cpu_init::CpuInitPolicy;
 use uvm_core::stats::{percentile, Histogram, Summary};
 use uvm_core::trace::{self as trace, RingTracer, TraceFilter};
+use uvm_core::workloads::cpu_init::CpuInitPolicy;
 use uvm_core::workloads::stream::{self, StreamParams};
 use uvm_core::SystemConfig;
 
-const SEED: u64 = 0x5C21;
-
-struct Experiment {
-    id: &'static str,
-    title: &'static str,
-    run: fn() -> (String, serde_json::Value),
-}
-
-fn exp<R: serde::Serialize>(
-    f: fn(u64) -> R,
-    render: fn(&R) -> String,
-) -> (String, serde_json::Value) {
-    let r = f(SEED);
-    (render(&r), serde_json::to_value(&r).expect("serializable result"))
-}
-
-fn experiments() -> Vec<Experiment> {
-    vec![
-        Experiment {
-            id: "fig1",
-            title: "Fig. 1  — UVM vs explicit-management access latency",
-            run: || exp(fig01_latency::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig3",
-            title: "Figs. 3/4 — vecadd fault batches and arrival timeline",
-            run: || exp(fig03_vecadd::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig5",
-            title: "Fig. 5  — single-warp prefetch fills a batch",
-            run: || exp(fig05_prefetch_ub::run, |r| r.render()),
-        },
-        Experiment {
-            id: "table2",
-            title: "Table 2 — per-SM fault statistics per batch",
-            run: || exp(table2_per_sm::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig6",
-            title: "Fig. 6  — batch cost vs data migrated (best fits)",
-            run: || exp(fig06_cost_vs_data::run, |r| format!("{}\n{}", r.render(), r.render_plot())),
-        },
-        Experiment {
-            id: "fig7",
-            title: "Fig. 7  — transfer share of batch time (sgemm)",
-            run: || exp(fig07_transfer_fraction::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig8",
-            title: "Fig. 8  — raw vs deduplicated batch sizes",
-            run: || exp(fig08_dedup_series::run, |r| format!("{}\n{}", r.render(), r.render_plot())),
-        },
-        Experiment {
-            id: "fig9",
-            title: "Fig. 9  — batch-size-limit sweep (sgemm)",
-            run: || exp(fig09_batch_size::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig10",
-            title: "Fig. 10 — batch cost vs size by VABlock count",
-            run: || exp(fig10_vablocks::run, |r| r.render()),
-        },
-        Experiment {
-            id: "table3",
-            title: "Table 3 — VABlock source statistics",
-            run: || exp(table3_vablocks::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig11",
-            title: "Fig. 11 — CPU-thread count vs unmap cost (HPGMG)",
-            run: || exp(fig11_unmap_threads::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig12",
-            title: "Fig. 12 — sgemm under oversubscription",
-            run: || exp(fig12_oversub::run, |r| format!("{}\n{}", r.render(), r.render_plot())),
-        },
-        Experiment {
-            id: "fig13",
-            title: "Fig. 13 — stream eviction cost levels",
-            run: || exp(fig13_evict_levels::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig14",
-            title: "Fig. 14 — sgemm prefetch profile + DMA outliers",
-            run: || exp(fig14_prefetch_batches::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig15",
-            title: "Fig. 15 — dgemm eviction + prefetching panels",
-            run: || exp(fig15_evict_prefetch::run, |r| r.render()),
-        },
-        Experiment {
-            id: "fig16",
-            title: "Fig. 16 — Gauss-Seidel case study",
-            run: || exp(fig16_gauss_seidel::run, |r| format!("{}\n{}", r.render(), r.render_plot())),
-        },
-        Experiment {
-            id: "fig17",
-            title: "Fig. 17 — HPGMG case study (LRU order)",
-            run: || exp(fig17_hpgmg::run, |r| format!("{}\n{}", r.render(), r.case.render_plot())),
-        },
-        Experiment {
-            id: "table4",
-            title: "Table 4 — prefetch on/off batch & kernel times",
-            run: || exp(table4_speedup::run, |r| r.render()),
-        },
-        Experiment {
-            id: "ext-hints",
-            title: "Extension — cudaMemAdvise / cudaMemPrefetchAsync",
-            run: || exp(ext_hints::run, |r| r.render()),
-        },
-        Experiment {
-            id: "ext-inject",
-            title: "Extension — fault injection & typed error recovery",
-            run: || exp(ext_inject::run, |r| r.render()),
-        },
-        Experiment {
-            id: "ext-thrashing",
-            title: "Extension — thrashing mitigation (uvm_perf_thrashing)",
-            run: || exp(ext_thrashing::run, |r| r.render()),
-        },
-    ]
+/// Print `err` and exit with status 1 — the harness's terminal error path.
+fn fail(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(1);
 }
 
 /// Lockstep divergence-detector demo: two identically-seeded systems, one
@@ -214,26 +119,8 @@ fn diverge_demo(perturb_at: u64) {
             println!("  instance B digests: gpu={:#018x} driver={:#018x} host={:#018x} run={:#018x}",
                 d.b.gpu, d.b.driver, d.b.host, d.b.run);
         }
-        Err(e) => {
-            eprintln!("lockstep run failed: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail("lockstep run failed", e),
     }
-}
-
-/// Map loose experiment spellings onto harness ids: `fig03_vecadd` (the
-/// experiment module name) and `fig03` both resolve to `fig3`.
-fn canonical_id(spec: &str) -> String {
-    let spec = spec.split('_').next().unwrap_or(spec);
-    for prefix in ["fig", "table"] {
-        if let Some(digits) = spec.strip_prefix(prefix) {
-            if !digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit()) {
-                let n = digits.trim_start_matches('0');
-                return format!("{prefix}{}", if n.is_empty() { "0" } else { n });
-            }
-        }
-    }
-    spec.to_string()
 }
 
 /// Render the trace-derived fault-latency distribution (the Figure-1-style
@@ -294,14 +181,20 @@ fn trace_experiment(spec: &str, out_dir: Option<&str>, filter_spec: Option<&str>
             std::process::exit(2);
         }),
     };
-    std::fs::create_dir_all(out_dir).expect("create trace output dir");
+    if let Err(err) = std::fs::create_dir_all(out_dir) {
+        fail("create trace output dir", err);
+    }
 
     trace::install(Box::new(RingTracer::with_filter(1 << 22, filter)));
     let t0 = Instant::now();
     let (text, _value) = (e.run)();
     let elapsed = t0.elapsed().as_secs_f64();
-    let tracer = trace::uninstall().expect("tracer still installed after run");
-    let ring = tracer.as_ring().expect("installed backend is a ring");
+    let Some(tracer) = trace::uninstall() else {
+        fail("trace teardown", "tracer no longer installed after run");
+    };
+    let Some(ring) = tracer.as_ring() else {
+        fail("trace teardown", "installed backend is not a ring tracer");
+    };
     let records: Vec<_> = ring.records().cloned().collect();
 
     // Identical stdout to the untraced path — CI diffs this byte-for-byte
@@ -320,7 +213,9 @@ fn trace_experiment(spec: &str, out_dir: Option<&str>, filter_spec: Option<&str>
         (format!("{out_dir}/{id}.latency.txt"), latency_report(&lifetimes)),
     ];
     for (path, contents) in &artifacts {
-        std::fs::write(path, contents).expect("write trace artifact");
+        if let Err(err) = std::fs::write(path, contents) {
+            fail("write trace artifact", err);
+        }
         eprintln!("wrote {path}");
     }
 
@@ -352,6 +247,58 @@ fn trace_experiment(spec: &str, out_dir: Option<&str>, filter_spec: Option<&str>
     }
 }
 
+/// Print one finished experiment (banner + report) and handle `--bless` /
+/// `--json` side effects. Identical for serial and parallel runs.
+fn emit(o: &ExperimentOutput, bless: bool, json_dir: Option<&str>) {
+    println!("================================================================");
+    println!("{}   [{:.2}s]", o.title, o.secs);
+    println!("================================================================");
+    println!("{}\n", o.text);
+    if bless {
+        match bless_golden(o.id, &o.text) {
+            Ok(Some(path)) => println!("blessed {}\n", path.display()),
+            Ok(None) => {}
+            Err(err) => fail(&format!("failed to bless golden for {}", o.id), err),
+        }
+    }
+    if let Some(dir) = json_dir {
+        let path = format!("{dir}/{}.json", o.id);
+        let payload = match serde_json::to_string_pretty(&o.value) {
+            Ok(p) => p,
+            Err(err) => fail(&format!("serialize {}", o.id), err),
+        };
+        let write = std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(payload.as_bytes()));
+        if let Err(err) = write {
+            fail(&format!("write {path}"), err);
+        }
+        println!("wrote {path}\n");
+    }
+}
+
+/// `paper bench`: write the machine-readable perf baseline.
+fn bench_command(jobs: usize, out: Option<&str>, quick: bool) {
+    eprintln!(
+        "benchmarking: serial experiment pass{}, then hot-loop micros ({} mode)",
+        if quick || jobs <= 1 { "" } else { " + parallel pass" },
+        if quick { "quick" } else { "full" }
+    );
+    let report = uvm_bench::perf::bench_report(jobs, quick);
+    let payload = match serde_json::to_string_pretty(&report) {
+        Ok(p) => p,
+        Err(err) => fail("serialize bench report", err),
+    };
+    match out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, payload + "\n") {
+                fail(&format!("write {path}"), err);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{payload}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<String> = None;
@@ -359,6 +306,8 @@ fn main() {
     let mut trace_filter: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut bless = false;
+    let mut quick = false;
+    let mut jobs: Option<usize> = None;
     let mut ctl = RunCtl::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -367,6 +316,18 @@ fn main() {
             "--out" => out_dir = it.next(),
             "--trace-filter" => trace_filter = it.next(),
             "--bless" => bless = true,
+            "--quick" => quick = true,
+            "--jobs" => {
+                let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive thread count");
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("--jobs needs a positive thread count");
+                    std::process::exit(2);
+                }
+                jobs = Some(n);
+            }
             "--checkpoint-every" => {
                 let n = it
                     .next()
@@ -385,6 +346,21 @@ fn main() {
     }
     let filter = positional.first().cloned();
 
+    // Resolve the worker budget. Checkpoint/resume runs are forced serial:
+    // the run-control ordinal that matches runs to checkpoints is
+    // process-global, so concurrent runs would race it.
+    let checkpointing = ctl.checkpoint_every.is_some() || ctl.resume_from.is_some();
+    let requested = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    let effective = if checkpointing && requested > 1 {
+        eprintln!("note: checkpoint/resume forces --jobs 1 (run ordinal is process-global)");
+        1
+    } else {
+        requested
+    };
+    parallel::configure_jobs(effective);
+
     if filter.as_deref() == Some("list") {
         for e in experiments() {
             println!("{:<14} {}", e.id, e.title);
@@ -399,9 +375,13 @@ fn main() {
         return;
     }
 
+    if filter.as_deref() == Some("bench") {
+        bench_command(effective, out_dir.as_deref(), quick);
+        return;
+    }
+
     if let Err(e) = runctl::configure(ctl) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        fail("run-control configuration", e);
     }
 
     if filter.as_deref() == Some("trace") {
@@ -427,32 +407,23 @@ fn main() {
         std::process::exit(1);
     }
     if let Some(dir) = &json_dir {
-        std::fs::create_dir_all(dir).expect("create json output dir");
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            fail("create json output dir", err);
+        }
     }
 
-    for e in selected {
-        let t0 = Instant::now();
-        let (text, value) = (e.run)();
-        println!("================================================================");
-        println!("{}   [{:.2}s]", e.title, t0.elapsed().as_secs_f64());
-        println!("================================================================");
-        println!("{text}\n");
-        if bless {
-            match bless_golden(e.id, &text) {
-                Ok(Some(path)) => println!("blessed {}\n", path.display()),
-                Ok(None) => {}
-                Err(err) => {
-                    eprintln!("error: failed to bless golden for {}: {err}", e.id);
-                    std::process::exit(1);
-                }
-            }
+    if effective <= 1 {
+        // Serial path: print each experiment as it finishes.
+        for e in selected {
+            let o = run_experiments(vec![e]);
+            emit(&o[0], bless, json_dir.as_deref());
         }
-        if let Some(dir) = &json_dir {
-            let path = format!("{dir}/{}.json", e.id);
-            let mut f = std::fs::File::create(&path).expect("create json file");
-            f.write_all(serde_json::to_string_pretty(&value).expect("serialize").as_bytes())
-                .expect("write json");
-            println!("wrote {path}\n");
+    } else {
+        // Parallel path: fan out across the pool; results come back in
+        // submission order, so the emitted stream is byte-identical to
+        // the serial path (modulo the wall-clock suffixes).
+        for o in run_experiments(selected) {
+            emit(&o, bless, json_dir.as_deref());
         }
     }
 }

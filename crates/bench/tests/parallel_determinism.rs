@@ -1,0 +1,40 @@
+//! The tentpole determinism guarantee: fanning experiments across the
+//! worker pool must not change a single byte of rendered output or JSON
+//! relative to a serial run. CI additionally diffs the full release
+//! binary's stdout at `--jobs 4` vs `--jobs 1`; this test pins the same
+//! property at debug scale on a fast experiment subset.
+
+use uvm_bench::{experiments, run_experiments};
+use uvm_core::parallel;
+
+/// Cheap-but-representative subset: single-sim figures plus one
+/// multi-sim grid (fig9's batch-limit sweep uses intra-experiment
+/// fan-out, exercising nested-inline execution under the pool).
+const SUBSET: &[&str] = &["fig1", "fig3", "fig5", "fig9", "ext-inject"];
+
+fn render_subset(jobs: usize) -> Vec<(String, String, String)> {
+    parallel::configure_jobs(jobs);
+    let all = experiments();
+    let selected: Vec<_> = all.iter().filter(|e| SUBSET.contains(&e.id)).collect();
+    assert_eq!(selected.len(), SUBSET.len(), "registry lost a subset id");
+    let outs = run_experiments(selected);
+    parallel::configure_jobs(1);
+    outs.into_iter()
+        .map(|o| {
+            let json = serde_json::to_string_pretty(&o.value).expect("serializable");
+            (o.id.to_string(), o.text, json)
+        })
+        .collect()
+}
+
+#[test]
+fn four_workers_render_byte_identical_output() {
+    let serial = render_subset(1);
+    let parallel4 = render_subset(4);
+    assert_eq!(serial.len(), parallel4.len());
+    for ((id_s, text_s, json_s), (id_p, text_p, json_p)) in serial.iter().zip(&parallel4) {
+        assert_eq!(id_s, id_p, "experiment order changed under --jobs 4");
+        assert_eq!(text_s, text_p, "{id_s}: rendered text diverged under --jobs 4");
+        assert_eq!(json_s, json_p, "{id_s}: JSON dump diverged under --jobs 4");
+    }
+}

@@ -43,11 +43,11 @@ pub fn run(seed: u64) -> Fig9Result {
     run_limits(seed, &[64, 256, 512, 1024, 2048])
 }
 
-/// Run the sweep over explicit limits.
+/// Run the sweep over explicit limits. The per-limit sims are independent
+/// (each constructs its own seeded system), so the grid fans out across
+/// the configured worker pool; points stay in `limits` order.
 pub fn run_limits(seed: u64, limits: &[usize]) -> Fig9Result {
-    let points = limits
-        .iter()
-        .map(|&limit| {
+    let points = crate::parallel::map(limits.to_vec(), |limit| {
             let config = experiment_config(768)
                 .with_policy(DriverPolicy::default().batch_limit(limit))
                 .with_seed(seed);
@@ -63,8 +63,7 @@ pub fn run_limits(seed: u64, limits: &[usize]) -> Fig9Result {
                 mean_unique_per_batch: unique as f64 / result.num_batches.max(1) as f64,
                 dup_rate: 1.0 - unique as f64 / raw.max(1) as f64,
             }
-        })
-        .collect();
+        });
     Fig9Result { points }
 }
 

@@ -45,16 +45,23 @@ pub struct Fig10Result {
 
 /// Run the VABlock-cost experiment across several benchmarks.
 pub fn run(seed: u64) -> Fig10Result {
-    let mut points = Vec::new();
-    for b in [Bench::Regular, Bench::Random, Bench::Sgemm, Bench::Cufft, Bench::GaussSeidel] {
+    // Independent per-benchmark sims, fanned across the worker pool; the
+    // concatenation below keeps the serial benchmark order.
+    let benches = vec![Bench::Regular, Bench::Random, Bench::Sgemm, Bench::Cufft, Bench::GaussSeidel];
+    let per_bench = crate::parallel::map(benches, |b| {
         let config = experiment_config(768).with_seed(seed);
         let result = UvmSystem::new(config).run(&b.build());
-        points.extend(result.records.iter().map(|r| Fig10Point {
-            mib: r.bytes_migrated as f64 / (1024.0 * 1024.0),
-            ms: r.service_time().as_nanos() as f64 / 1e6,
-            blocks: r.num_va_blocks,
-        }));
-    }
+        result
+            .records
+            .iter()
+            .map(|r| Fig10Point {
+                mib: r.bytes_migrated as f64 / (1024.0 * 1024.0),
+                ms: r.service_time().as_nanos() as f64 / 1e6,
+                blocks: r.num_va_blocks,
+            })
+            .collect::<Vec<_>>()
+    });
+    let points: Vec<Fig10Point> = per_bench.into_iter().flatten().collect();
 
     // Bucket by migrated size; split each bucket at its median block count.
     let mut buckets = Vec::new();

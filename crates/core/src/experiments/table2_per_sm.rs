@@ -46,9 +46,9 @@ pub struct Table2Result {
 /// Run Table 2 over the benchmark suite.
 pub fn run(seed: u64) -> Table2Result {
     let num_sms = experiment_config(768).gpu.num_sms;
-    let rows = Bench::table_suite()
-        .iter()
-        .map(|&b| {
+    // One independent sim per benchmark: fan the suite across the worker
+    // pool, rows staying in paper order.
+    let rows = crate::parallel::map(Bench::table_suite().to_vec(), |b| {
             let config = experiment_config(768).with_seed(seed);
             let result = UvmSystem::new(config).run(&b.build());
             let per_sm: Vec<f64> = result
@@ -75,8 +75,7 @@ pub fn run(seed: u64) -> Table2Result {
                 avg_distinct_sms_full: Summary::of(&distinct_full).mean,
                 batches: result.num_batches,
             }
-        })
-        .collect();
+        });
     Table2Result { rows, num_sms }
 }
 

@@ -39,9 +39,8 @@ pub struct Table3Result {
 
 /// Run Table 3 over the benchmark suite.
 pub fn run(seed: u64) -> Table3Result {
-    let rows = Bench::table_suite()
-        .iter()
-        .map(|&b| {
+    // Independent per-benchmark sims: parallel over the suite, paper order.
+    let rows = crate::parallel::map(Bench::table_suite().to_vec(), |b| {
             let config = experiment_config(768).with_seed(seed);
             let result = UvmSystem::new(config).run(&b.build());
             let blocks_per_batch: Vec<f64> = result
@@ -63,8 +62,7 @@ pub fn run(seed: u64) -> Table3Result {
                 min: per_block.iter().copied().min().unwrap_or(0),
                 max: per_block.iter().copied().max().unwrap_or(0),
             }
-        })
-        .collect();
+        });
     Table3Result { rows }
 }
 

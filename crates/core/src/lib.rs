@@ -38,6 +38,8 @@
 //! * [`report`] — CSV export and terminal summaries of batch records.
 //! * [`snapshot`] — [`snapshot::SystemSnapshot`]: versioned whole-system
 //!   checkpoints with per-subsystem integrity digests.
+//! * [`parallel`] — deterministic scoped worker pool fanning independent
+//!   runs across `--jobs N` threads with submission-order results.
 //! * [`runctl`] — process-global `--checkpoint-every` / `--resume` policy
 //!   consulted transparently by every run.
 //! * [`divergence`] — lockstep execution of two instances, reporting the
@@ -46,6 +48,7 @@
 pub mod config;
 pub mod divergence;
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 pub mod runctl;
 pub mod snapshot;

@@ -34,8 +34,9 @@
 use serde::{Deserialize, Serialize, Value};
 use uvm_driver::advise::MemAdvise;
 use uvm_driver::batch::{BatchRecord, FaultMeta};
-use uvm_driver::service::UvmDriver;
+use uvm_driver::service::{ServiceScratch, UvmDriver};
 use uvm_gpu::device::{Gpu, StepOutcome};
+use uvm_gpu::fault::FaultRecord;
 use uvm_hostos::host::HostMemory;
 use uvm_sim::error::UvmError;
 use uvm_sim::event::EventQueue;
@@ -201,6 +202,10 @@ pub struct RunInProgress {
     /// Earliest launch time for the first kernel (end of upfront
     /// prefetches).
     t0: SimTime,
+    /// Reused batch-formation buffer (not run state; never snapshotted).
+    batch_buf: Vec<FaultRecord>,
+    /// Reused per-batch servicing working memory (likewise pure scratch).
+    scratch: ServiceScratch,
 }
 
 impl UvmSystem {
@@ -344,6 +349,8 @@ impl UvmSystem {
             kernel_cursor: 0,
             current_kernel_start: None,
             t0,
+            batch_buf: Vec::new(),
+            scratch: ServiceScratch::default(),
         };
         run.launch_next_kernel(workload);
         Ok(run)
@@ -524,16 +531,19 @@ impl RunInProgress {
                         // fetch whose deadline advances by the per-fault
                         // fetch cost.
                         let limit = self.system.config.policy.batch_limit;
-                        let mut batch = Vec::with_capacity(limit);
+                        let batch = &mut self.batch_buf;
+                        batch.clear();
                         let mut deadline = now;
                         loop {
-                            let got =
-                                self.system.gpu.fault_buffer.fetch(limit - batch.len(), deadline);
-                            if got.is_empty() {
+                            let got = self.system.gpu.fault_buffer.fetch_into(
+                                limit - batch.len(),
+                                deadline,
+                                batch,
+                            );
+                            if got == 0 {
                                 break;
                             }
-                            deadline += self.system.config.cost.fetch_per_fault * got.len() as u64;
-                            batch.extend(got);
+                            deadline += self.system.config.cost.fetch_per_fault * got as u64;
                             if batch.len() >= limit {
                                 break;
                             }
@@ -547,11 +557,12 @@ impl RunInProgress {
                                 self.queue.schedule(at, Event::DriverCheck);
                             }
                         } else {
-                            let rec = self.system.driver.service_batch(
-                                &batch,
+                            let rec = self.system.driver.service_batch_with(
+                                &self.batch_buf,
                                 &mut self.system.gpu,
                                 &mut self.system.host,
                                 now,
+                                &mut self.scratch,
                             )?;
                             let end = rec.end;
                             self.worker = Worker::Busy;
@@ -757,6 +768,8 @@ impl RunInProgress {
             kernel_cursor: run.kernel_cursor,
             current_kernel_start: run.current_kernel_start,
             t0: run.t0,
+            batch_buf: Vec::new(),
+            scratch: ServiceScratch::default(),
         })
     }
 
@@ -997,7 +1010,7 @@ mod tests {
     }
 
     #[test]
-    fn injected_run_recovers_and_is_seed_deterministic() {
+    fn injected_run_recovers_and_is_seed_deterministic() -> Result<(), UvmError> {
         use uvm_sim::inject::FaultPlan;
         let mk_w = || {
             stream::build(StreamParams {
@@ -1013,8 +1026,8 @@ mod tests {
                 .with_policy(DriverPolicy::default().audited(true))
                 .with_fault_plan(FaultPlan::uniform(0.05))
         };
-        let r1 = UvmSystem::new(mk_c()).try_run(&mk_w()).unwrap();
-        let r2 = UvmSystem::new(mk_c()).try_run(&mk_w()).unwrap();
+        let r1 = UvmSystem::new(mk_c()).try_run(&mk_w())?;
+        let r2 = UvmSystem::new(mk_c()).try_run(&mk_w())?;
         let injected: u64 = r1.records.iter().map(|r| r.injected_faults).sum();
         let retries: u64 = r1.records.iter().map(|r| r.retries).sum();
         assert!(injected > 0, "a 5% rate must fire across a whole run");
@@ -1022,10 +1035,11 @@ mod tests {
         // Every page still ends up served (migrated or remote) despite
         // injection: the run completed, so all warps finished.
         assert_eq!(
-            serde_json::to_string(&r1.records).unwrap(),
-            serde_json::to_string(&r2.records).unwrap(),
+            serde_json::to_string(&r1.records).expect("records serialize"),
+            serde_json::to_string(&r2.records).expect("records serialize"),
             "same seed + same plan = byte-identical record streams"
         );
+        Ok(())
     }
 
     #[test]
@@ -1047,8 +1061,8 @@ mod tests {
         .run(&mk_w());
         assert_eq!(base.kernel_time, off.kernel_time);
         assert_eq!(
-            serde_json::to_string(&base.records).unwrap(),
-            serde_json::to_string(&off.records).unwrap(),
+            serde_json::to_string(&base.records).expect("records serialize"),
+            serde_json::to_string(&off.records).expect("records serialize"),
             "a disabled plan must not perturb the baseline"
         );
     }
@@ -1068,7 +1082,7 @@ mod tests {
         // Oversubscribed so evictions are exercised too.
         let config = SystemConfig::test_small(16 * MB)
             .with_policy(DriverPolicy::default().audited(true));
-        let r = UvmSystem::new(config).try_run(&w).unwrap();
+        let r = UvmSystem::new(config).try_run(&w).expect("audited run stays consistent");
         assert!(r.evictions > 0);
     }
 
@@ -1103,96 +1117,99 @@ mod tests {
     }
 
     fn result_json(r: &RunResult) -> String {
-        serde_json::to_string(r).unwrap()
+        serde_json::to_string(r).expect("run result serializes")
     }
 
     #[test]
-    fn incremental_run_matches_monolithic_run() {
+    fn incremental_run_matches_monolithic_run() -> Result<(), UvmError> {
         let w = ckpt_workload();
         let straight = UvmSystem::new(SystemConfig::test_small(16 * MB)).run(&w);
-        let mut run = UvmSystem::new(SystemConfig::test_small(16 * MB))
-            .start(&w, &RunHints::default())
-            .unwrap();
-        while run.advance_batch(&w).unwrap() != Progress::Finished {}
+        let mut run =
+            UvmSystem::new(SystemConfig::test_small(16 * MB)).start(&w, &RunHints::default())?;
+        while run.advance_batch(&w)? != Progress::Finished {}
         let stepped = run.into_result(&w);
         assert_eq!(result_json(&straight), result_json(&stepped));
+        Ok(())
     }
 
     #[test]
-    fn snapshot_restore_continues_bit_identically() {
+    fn snapshot_restore_continues_bit_identically() -> Result<(), UvmError> {
         let w = ckpt_workload();
         let straight = UvmSystem::new(SystemConfig::test_small(16 * MB)).run(&w);
 
-        let mut run = UvmSystem::new(SystemConfig::test_small(16 * MB))
-            .start(&w, &RunHints::default())
-            .unwrap();
+        let mut run =
+            UvmSystem::new(SystemConfig::test_small(16 * MB)).start(&w, &RunHints::default())?;
         // Advance past a few batches, snapshot, and throw the original away.
         for _ in 0..5 {
-            assert!(matches!(run.advance_batch(&w).unwrap(), Progress::Batch(_)));
+            assert!(matches!(run.advance_batch(&w)?, Progress::Batch(_)));
         }
         let snap = run.snapshot(&w, 0);
         assert_eq!(snap.batches, 5);
         drop(run);
 
-        let mut resumed = RunInProgress::restore(&snap, &w).unwrap();
-        while resumed.advance_batch(&w).unwrap() != Progress::Finished {}
+        let mut resumed = RunInProgress::restore(&snap, &w)?;
+        while resumed.advance_batch(&w)? != Progress::Finished {}
         let result = resumed.into_result(&w);
         assert_eq!(
             result_json(&straight),
             result_json(&result),
             "restored run must be byte-identical to the uninterrupted run"
         );
+        Ok(())
     }
 
     #[test]
-    fn snapshot_round_trips_through_json() {
+    fn snapshot_round_trips_through_json() -> Result<(), UvmError> {
         let w = ckpt_workload();
-        let mut run = UvmSystem::new(SystemConfig::test_small(16 * MB))
-            .start(&w, &RunHints::default())
-            .unwrap();
+        let mut run =
+            UvmSystem::new(SystemConfig::test_small(16 * MB)).start(&w, &RunHints::default())?;
         for _ in 0..3 {
-            run.advance_batch(&w).unwrap();
+            run.advance_batch(&w)?;
         }
         let snap = run.snapshot(&w, 42);
-        let json = serde_json::to_string(&snap).unwrap();
-        let back: SystemSnapshot = serde_json::from_str(&json).unwrap();
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let back: SystemSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
         assert_eq!(back.run_key, 42);
         assert_eq!(back.digests, snap.digests);
-        back.verify_integrity().unwrap();
+        back.verify_integrity()?;
         // The restored instance digests identically to the live one.
-        let restored = RunInProgress::restore(&back, &w).unwrap();
+        let restored = RunInProgress::restore(&back, &w)?;
         assert_eq!(restored.subsystem_digests(), run.subsystem_digests());
+        Ok(())
     }
 
     #[test]
-    fn restore_rejects_wrong_workload_and_version() {
+    fn restore_rejects_wrong_workload_and_version() -> Result<(), UvmError> {
         let w = ckpt_workload();
-        let mut run = UvmSystem::new(SystemConfig::test_small(16 * MB))
-            .start(&w, &RunHints::default())
-            .unwrap();
-        run.advance_batch(&w).unwrap();
+        let mut run =
+            UvmSystem::new(SystemConfig::test_small(16 * MB)).start(&w, &RunHints::default())?;
+        run.advance_batch(&w)?;
         let snap = run.snapshot(&w, 0);
 
         // A different workload must be rejected by digest.
         let other = vecadd::build(VecAddParams::default());
-        let err = RunInProgress::restore(&snap, &other).unwrap_err();
+        let err =
+            RunInProgress::restore(&snap, &other).expect_err("wrong workload must be rejected");
         assert!(matches!(err, UvmError::SnapshotInvalid { .. }));
 
         // A future format version must be rejected.
         let mut wrong = snap.clone();
         wrong.version += 1;
-        let err = RunInProgress::restore(&wrong, &w).unwrap_err();
+        let err =
+            RunInProgress::restore(&wrong, &w).expect_err("future version must be rejected");
         assert!(matches!(err, UvmError::SnapshotInvalid { .. }));
 
         // A tampered state tree must fail the integrity check.
         let mut tampered = snap.clone();
         tampered.gpu = Value::Null;
-        let err = RunInProgress::restore(&tampered, &w).unwrap_err();
+        let err =
+            RunInProgress::restore(&tampered, &w).expect_err("tampered tree must be rejected");
         assert!(matches!(err, UvmError::SnapshotInvalid { .. }));
+        Ok(())
     }
 
     #[test]
-    fn snapshot_restore_preserves_injected_run() {
+    fn snapshot_restore_preserves_injected_run() -> Result<(), UvmError> {
         use uvm_sim::inject::FaultPlan;
         // Injection exercises every serialized RNG stream and injector:
         // a restored run must replay the identical failure schedule.
@@ -1200,16 +1217,17 @@ mod tests {
         let mk_c = || {
             SystemConfig::test_small(16 * MB).with_fault_plan(FaultPlan::uniform(0.05))
         };
-        let straight = UvmSystem::new(mk_c()).try_run(&w).unwrap();
+        let straight = UvmSystem::new(mk_c()).try_run(&w)?;
 
-        let mut run = UvmSystem::new(mk_c()).start(&w, &RunHints::default()).unwrap();
+        let mut run = UvmSystem::new(mk_c()).start(&w, &RunHints::default())?;
         for _ in 0..7 {
-            assert!(matches!(run.advance_batch(&w).unwrap(), Progress::Batch(_)));
+            assert!(matches!(run.advance_batch(&w)?, Progress::Batch(_)));
         }
         let snap = run.snapshot(&w, 0);
-        let mut resumed = RunInProgress::restore(&snap, &w).unwrap();
-        while resumed.advance_batch(&w).unwrap() != Progress::Finished {}
+        let mut resumed = RunInProgress::restore(&snap, &w)?;
+        while resumed.advance_batch(&w)? != Progress::Finished {}
         let result = resumed.into_result(&w);
         assert_eq!(result_json(&straight), result_json(&result));
+        Ok(())
     }
 }

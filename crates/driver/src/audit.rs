@@ -80,7 +80,7 @@ pub fn violations(driver: &UvmDriver, gpu: &Gpu, host: &HostMemory) -> Vec<UvmEr
         }
 
         let accessible = state.gpu_resident.or(&state.remote_mapped);
-        accounted_pages += accessible.count() as u64;
+        accounted_pages += u64::from(accessible.count());
 
         // 4. GPU-accessible pages require DMA mappings.
         if !accessible.is_empty() && !state.dma_mapped {

@@ -18,7 +18,7 @@ use uvm_gpu::fault::{AccessKind, FaultRecord};
 use uvm_sim::mem::PageNum;
 
 /// Outcome of deduplicating one batch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DedupResult {
     /// One representative fault per distinct page, in first-arrival order.
     /// The representative's kind is upgraded to `Write` if *any* fault on
@@ -37,7 +37,80 @@ impl DedupResult {
     }
 }
 
+/// Reusable working memory for [`classify_duplicates_with`], so the
+/// per-batch hot path allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct DedupScratch {
+    /// `(page, μTLB, batch index)` sort keys.
+    keys: Vec<(u64, u32, u32)>,
+    /// `(first-arrival batch index, any-write flag)` per distinct page.
+    reps: Vec<(u32, bool)>,
+}
+
+/// Sort-based fast path of [`classify_duplicates`]: identical output,
+/// no hashing, and all working memory reused across batches.
+///
+/// The reference's per-page counts are order-independent — a page faulted
+/// `m` times from `k` distinct μTLBs always yields `k - 1` cross-μTLB and
+/// `m - k` same-μTLB duplicates, whatever the interleaving — so grouping
+/// by a `(page, μTLB, index)` sort reproduces them exactly, and re-sorting
+/// the representatives by first-arrival index restores the reference's
+/// output order.
+pub fn classify_duplicates_with(
+    batch: &[FaultRecord],
+    scratch: &mut DedupScratch,
+    out: &mut DedupResult,
+) {
+    out.unique.clear();
+    out.dup_same_utlb = 0;
+    out.dup_cross_utlb = 0;
+    scratch.keys.clear();
+    scratch.reps.clear();
+    scratch
+        .keys
+        .extend(batch.iter().enumerate().map(|(i, f)| (f.page.0, f.utlb, i as u32)));
+    scratch.keys.sort_unstable();
+
+    let keys = &scratch.keys;
+    let mut i = 0;
+    while i < keys.len() {
+        let page = keys[i].0;
+        let mut distinct_utlbs = 0u64;
+        let mut total = 0u64;
+        let mut first_idx = u32::MAX;
+        let mut any_write = false;
+        let mut j = i;
+        while j < keys.len() && keys[j].0 == page {
+            if j == i || keys[j].1 != keys[j - 1].1 {
+                distinct_utlbs += 1;
+            }
+            let bi = keys[j].2;
+            first_idx = first_idx.min(bi);
+            any_write |= batch[bi as usize].kind == AccessKind::Write;
+            total += 1;
+            j += 1;
+        }
+        out.dup_cross_utlb += distinct_utlbs - 1;
+        out.dup_same_utlb += total - distinct_utlbs;
+        scratch.reps.push((first_idx, any_write));
+        i = j;
+    }
+
+    scratch.reps.sort_unstable_by_key(|&(idx, _)| idx);
+    out.unique.extend(scratch.reps.iter().map(|&(idx, write)| {
+        let mut f = batch[idx as usize];
+        if write {
+            f.kind = AccessKind::Write;
+        }
+        f
+    }));
+}
+
 /// Classify and collapse duplicate faults in a batch.
+///
+/// This is the allocating reference implementation; the service loop uses
+/// the scratch-reusing [`classify_duplicates_with`], which is checked
+/// against this one by unit tests and a property test.
 pub fn classify_duplicates(batch: &[FaultRecord]) -> DedupResult {
     // page -> (index into unique, set of utlbs seen)
     let mut seen: HashMap<PageNum, (usize, Vec<u32>)> = HashMap::with_capacity(batch.len());
@@ -158,5 +231,62 @@ mod tests {
         let r = classify_duplicates(&[]);
         assert!(r.unique.is_empty());
         assert_eq!(r.total_dups(), 0);
+    }
+
+    fn fast(batch: &[FaultRecord]) -> DedupResult {
+        let mut scratch = DedupScratch::default();
+        let mut out = DedupResult {
+            unique: Vec::new(),
+            dup_same_utlb: 0,
+            dup_cross_utlb: 0,
+        };
+        classify_duplicates_with(batch, &mut scratch, &mut out);
+        out
+    }
+
+    fn assert_agree(batch: &[FaultRecord]) {
+        let a = classify_duplicates(batch);
+        let b = fast(batch);
+        assert_eq!(a.dup_same_utlb, b.dup_same_utlb);
+        assert_eq!(a.dup_cross_utlb, b.dup_cross_utlb);
+        assert_eq!(a.unique.len(), b.unique.len());
+        for (x, y) in a.unique.iter().zip(&b.unique) {
+            assert_eq!((x.page, x.utlb, x.sm, x.kind), (y.page, y.utlb, y.sm, y.kind));
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference() {
+        assert_agree(&[]);
+        assert_agree(&[fault(1, 0, AccessKind::Read)]);
+        assert_agree(&[
+            fault(9, 0, AccessKind::Read),
+            fault(1, 2, AccessKind::Write),
+            fault(9, 1, AccessKind::Read),
+            fault(9, 1, AccessKind::Read),
+            fault(5, 0, AccessKind::Read),
+            fault(1, 2, AccessKind::Read),
+            fault(9, 0, AccessKind::Write),
+        ]);
+    }
+
+    #[test]
+    fn fast_path_scratch_reuse_is_clean() {
+        let mut scratch = DedupScratch::default();
+        let mut out = DedupResult {
+            unique: Vec::new(),
+            dup_same_utlb: 0,
+            dup_cross_utlb: 0,
+        };
+        let b1 = vec![fault(1, 0, AccessKind::Read), fault(1, 1, AccessKind::Read)];
+        classify_duplicates_with(&b1, &mut scratch, &mut out);
+        assert_eq!(out.dup_cross_utlb, 1);
+        // A second, unrelated batch through the same scratch must not see
+        // any state from the first.
+        let b2 = vec![fault(7, 3, AccessKind::Write)];
+        classify_duplicates_with(&b2, &mut scratch, &mut out);
+        assert_eq!(out.unique.len(), 1);
+        assert_eq!(out.unique[0].page.0, 7);
+        assert_eq!(out.total_dups(), 0);
     }
 }

@@ -47,10 +47,10 @@ pub mod va_space;
 pub use advise::MemAdvise;
 pub use batch::BatchRecord;
 pub use bitmap::PageBitmap;
-pub use dedup::{classify_duplicates, DedupResult};
+pub use dedup::{classify_duplicates, classify_duplicates_with, DedupResult, DedupScratch};
 pub use evict::{EvictOutcome, GpuMemoryManager};
 pub use policy::DriverPolicy;
 pub use prefetch::compute_prefetch;
-pub use service::UvmDriver;
+pub use service::{ServiceScratch, UvmDriver};
 pub use va_block::VaBlockState;
 pub use va_space::VaSpace;

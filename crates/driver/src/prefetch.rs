@@ -58,7 +58,7 @@ pub fn compute_prefetch(
                 continue;
             }
             let node_valid = (hi - lo) as f64;
-            if cnt as f64 > threshold * node_valid {
+            if f64::from(cnt) > threshold * node_valid {
                 prefetch.set_range(lo, hi);
             }
         }

@@ -18,7 +18,7 @@
 //! (sysmem-mapped) state when migration keeps failing. Only unrecoverable
 //! failures propagate to the caller.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 use uvm_gpu::device::Gpu;
@@ -62,11 +62,32 @@ fn mark(rec: &BatchRecord, event: impl FnOnce() -> TraceEvent) {
     }
 }
 use crate::bitmap::PageBitmap;
-use crate::dedup::classify_duplicates;
+use crate::dedup::{classify_duplicates_with, DedupResult, DedupScratch};
 use crate::evict::{EvictOutcome, GpuMemoryManager};
 use crate::policy::DriverPolicy;
 use crate::prefetch::compute_prefetch;
 use crate::va_space::VaSpace;
+
+/// Reusable per-batch working memory for [`UvmDriver::service_batch_with`].
+///
+/// Pure scratch: contents are cleared at each use site and never influence
+/// results. Kept outside [`UvmDriver`] so driver snapshots are unaffected;
+/// the run loop owns one instance for the lifetime of a simulation.
+#[derive(Debug, Default)]
+pub struct ServiceScratch {
+    /// Sort/dedup working memory for duplicate classification.
+    dedup: DedupScratch,
+    /// Dedup output (reused `unique` vector).
+    dedup_out: DedupResult,
+    /// Distinct-SM attribution buffer.
+    sms: Vec<u32>,
+    /// Distinct-μTLB attribution buffer.
+    utlbs: Vec<u32>,
+    /// First-occurrence tracking for the per-fault metadata log.
+    seen_pages: HashSet<uvm_sim::mem::PageNum>,
+    /// `(VABlock, unique index)` grouping keys.
+    groups: Vec<(VaBlockId, u32)>,
+}
 
 /// The UVM driver: policy, managed-memory registry, GPU memory manager,
 /// DMA space, and the batch log.
@@ -269,7 +290,7 @@ impl UvmDriver {
     /// Sum of all batch service times (the paper's "Batch" column in
     /// Table 4).
     pub fn total_batch_time(&self) -> SimDuration {
-        self.records.iter().map(|r| r.service_time()).sum()
+        self.records.iter().map(BatchRecord::service_time).sum()
     }
 
     /// Number of batches serviced.
@@ -294,6 +315,25 @@ impl UvmDriver {
         gpu: &mut Gpu,
         host: &mut HostMemory,
         start: SimTime,
+    ) -> Result<&BatchRecord, UvmError> {
+        let mut scratch = ServiceScratch::default();
+        self.service_batch_with(faults, gpu, host, start, &mut scratch)
+    }
+
+    /// [`UvmDriver::service_batch`] with caller-owned working memory.
+    ///
+    /// The run loop holds one [`ServiceScratch`] for the whole simulation,
+    /// so the per-batch pipeline performs no steady-state allocations for
+    /// dedup keys, μTLB/SM attribution, or VABlock grouping. Scratch
+    /// contents never outlive the call and have no effect on the result —
+    /// the output is bit-identical to a fresh-scratch call.
+    pub fn service_batch_with(
+        &mut self,
+        faults: &[FaultRecord],
+        gpu: &mut Gpu,
+        host: &mut HostMemory,
+        start: SimTime,
+        scratch: &mut ServiceScratch,
     ) -> Result<&BatchRecord, UvmError> {
         let seq = self.batch_seq;
         self.batch_seq += 1;
@@ -336,23 +376,28 @@ impl UvmDriver {
             batch: seq,
             faults: faults.len() as u64,
         });
-        let mut sms = HashSet::new();
-        let mut utlbs = HashSet::new();
+        scratch.sms.clear();
+        scratch.utlbs.clear();
         for f in faults {
-            sms.insert(f.sm);
-            utlbs.insert(f.utlb);
+            scratch.sms.push(f.sm);
+            scratch.utlbs.push(f.utlb);
             match f.kind {
                 AccessKind::Read => rec.read_faults += 1,
                 AccessKind::Write => rec.write_faults += 1,
                 AccessKind::Prefetch => rec.prefetch_faults += 1,
             }
         }
-        rec.distinct_sms = sms.len() as u32;
-        rec.distinct_utlbs = utlbs.len() as u32;
+        scratch.sms.sort_unstable();
+        scratch.sms.dedup();
+        scratch.utlbs.sort_unstable();
+        scratch.utlbs.dedup();
+        rec.distinct_sms = scratch.sms.len() as u32;
+        rec.distinct_utlbs = scratch.utlbs.len() as u32;
 
         // ---- per-fault metadata (paper's first driver variant) ----
         if self.policy.log_fault_metadata {
-            let mut seen = HashSet::with_capacity(faults.len());
+            let seen = &mut scratch.seen_pages;
+            seen.clear();
             for f in faults {
                 let was_duplicate = !seen.insert(f.page);
                 self.fault_log.push(FaultMeta {
@@ -368,7 +413,8 @@ impl UvmDriver {
         }
 
         // ---- deduplicate ----
-        let dedup = classify_duplicates(faults);
+        classify_duplicates_with(faults, &mut scratch.dedup, &mut scratch.dedup_out);
+        let dedup = &scratch.dedup_out;
         rec.dup_same_utlb = dedup.dup_same_utlb;
         rec.dup_cross_utlb = dedup.dup_cross_utlb;
         rec.unique_pages = dedup.unique.len() as u64;
@@ -407,23 +453,40 @@ impl UvmDriver {
             }
         }
 
-        // ---- group by VABlock (BTreeMap: deterministic service order) ----
-        let mut groups: BTreeMap<VaBlockId, Vec<FaultRecord>> = BTreeMap::new();
-        for f in &dedup.unique {
-            groups.entry(f.page.va_block()).or_default().push(*f);
-        }
-        rec.num_va_blocks = groups.len() as u64;
+        // ---- group by VABlock (sorted keys: deterministic service order,
+        // identical to the previous BTreeMap — blocks ascend, and within a
+        // block the stable index tie-break keeps first-arrival order) ----
+        scratch.groups.clear();
+        scratch.groups.extend(
+            dedup
+                .unique
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.page.va_block(), i as u32)),
+        );
+        scratch.groups.sort_unstable();
 
         // ---- per-VABlock servicing ----
-        for (block_id, block_faults) in groups {
+        rec.num_va_blocks = 0;
+        let mut gi = 0;
+        while gi < scratch.groups.len() {
+            let block_id = scratch.groups[gi].0;
+            let mut ge = gi;
+            while ge < scratch.groups.len() && scratch.groups[ge].0 == block_id {
+                ge += 1;
+            }
+            let group = &scratch.groups[gi..ge];
+            gi = ge;
+            rec.num_va_blocks += 1;
+
             rec.t_fixed += self.cost.per_vablock_fixed;
             span(&rec, self.cost.per_vablock_fixed, || TraceEvent::VaBlockLock {
                 batch: seq,
                 block: block_id.0,
-                faults: block_faults.len() as u64,
+                faults: group.len() as u64,
             });
             rec.served_blocks.push(block_id.0);
-            rec.per_block_faults.push(block_faults.len() as u32);
+            rec.per_block_faults.push(group.len() as u32);
 
             // Faulted pages not already resident (or remote-mapped) on the
             // GPU.
@@ -436,12 +499,12 @@ impl UvmDriver {
                     state.degraded,
                 )
             };
-            let any_write = block_faults
+            let any_write = group
                 .iter()
-                .any(|f| f.kind == AccessKind::Write);
+                .any(|&(_, i)| dedup.unique[i as usize].kind == AccessKind::Write);
             let mut faulted = PageBitmap::EMPTY;
-            for f in &block_faults {
-                let idx = f.page.index_in_block();
+            for &(_, i) in group {
+                let idx = dedup.unique[i as usize].page.index_in_block();
                 debug_assert!(
                     (idx as u32) < valid,
                     "fault beyond allocation end in block {block_id:?}"
@@ -485,7 +548,7 @@ impl UvmDriver {
                     continue;
                 }
                 self.setup_block_dma(block_id, &mut rec)?;
-                let n = faulted.count() as u64;
+                let n = u64::from(faulted.count());
                 rec.t_pte += self.cost.pte_time(n);
                 span(&rec, self.cost.pte_time(n), || TraceEvent::PteUpdate {
                     batch: seq,
@@ -510,12 +573,12 @@ impl UvmDriver {
             } else {
                 PageBitmap::EMPTY
             };
-            rec.prefetched_pages += prefetched.count() as u64;
+            rec.prefetched_pages += u64::from(prefetched.count());
             mark(&rec, || TraceEvent::PrefetchDecision {
                 batch: seq,
                 block: block_id.0,
-                faulted: faulted.count() as u64,
-                prefetched: prefetched.count() as u64,
+                faulted: u64::from(faulted.count()),
+                prefetched: u64::from(prefetched.count()),
             });
             let migrate = faulted.or(&prefetched);
             if migrate.is_empty() {
@@ -796,7 +859,7 @@ impl UvmDriver {
             let bytes = if read_dup {
                 0
             } else {
-                resident.count() as u64 * PAGE_SIZE
+                u64::from(resident.count()) * PAGE_SIZE
             };
             rec.bytes_evicted += bytes;
             let d = self.cost.evict_fixed + self.cost.d2h_time(bytes);
@@ -811,7 +874,7 @@ impl UvmDriver {
             self.mem.release(block_id);
         }
         let remote = pages.or(&resident);
-        let n = remote.count() as u64;
+        let n = u64::from(remote.count());
         rec.t_pte += self.cost.pte_time(n);
         span(rec, self.cost.pte_time(n), || TraceEvent::PteUpdate {
             batch: rec.seq,
@@ -846,8 +909,8 @@ impl UvmDriver {
         rec: &mut BatchRecord,
     ) -> Result<(), UvmError> {
         let state = self.va_space.try_block_mut(block_id)?;
-        let n_pages = migrate.count() as u64;
-        let data_pages = migrate.and(&state.host_data).count() as u64;
+        let n_pages = u64::from(migrate.count());
+        let data_pages = u64::from(migrate.and(&state.host_data).count());
         let bytes = data_pages * PAGE_SIZE;
         rec.t_populate += self.cost.populate_time(n_pages);
         span(rec, self.cost.populate_time(n_pages), || TraceEvent::Populate {
@@ -1317,10 +1380,10 @@ mod tests {
     fn inject_setup(
         capacity_blocks: u64,
         policy: DriverPolicy,
-        plan: FaultPlan,
+        plan: &FaultPlan,
     ) -> (UvmDriver, Gpu, HostMemory) {
         let (mut driver, mut gpu, mut host) = setup(capacity_blocks, policy);
-        let mut inj = Injector::new(&plan, 7);
+        let mut inj = Injector::new(plan, 7);
         gpu.fault_buffer.set_injector(inj.take(InjectionPoint::FaultBufferOverflow));
         host.set_injector(inj.take(InjectionPoint::HostPopulateFailure));
         driver.set_injectors(&mut inj);
@@ -1331,7 +1394,7 @@ mod tests {
     fn transient_copy_fault_retries_then_succeeds() -> Result<(), UvmError> {
         let plan = FaultPlan::none()
             .with(InjectionPoint::CopyEngineFault, PointPlan::scheduled(SimTime(0), 1));
-        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
+        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), &plan);
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
@@ -1351,7 +1414,7 @@ mod tests {
         let plan = FaultPlan::none()
             .with(InjectionPoint::CopyEngineFault, PointPlan::with_probability(1.0));
         let (mut driver, mut gpu, mut host) =
-            inject_setup(16, DriverPolicy::default().retries(2), plan);
+            inject_setup(16, DriverPolicy::default().retries(2), &plan);
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
@@ -1391,7 +1454,7 @@ mod tests {
         let plan = FaultPlan::none()
             .with(InjectionPoint::CopyEngineFault, PointPlan::scheduled(SimTime(1_000_000), 100));
         let (mut driver, mut gpu, mut host) =
-            inject_setup(16, DriverPolicy::default().retries(1), plan);
+            inject_setup(16, DriverPolicy::default().retries(1), &plan);
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
@@ -1421,7 +1484,7 @@ mod tests {
     fn dma_map_failure_retries_then_succeeds() -> Result<(), UvmError> {
         let plan = FaultPlan::none()
             .with(InjectionPoint::DmaMapFailure, PointPlan::scheduled(SimTime(0), 2));
-        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
+        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), &plan);
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
@@ -1435,11 +1498,11 @@ mod tests {
     }
 
     #[test]
-    fn exhausted_dma_retries_fail_the_batch() -> Result<(), UvmError> {
+    fn exhausted_dma_retries_fail_the_batch() {
         let plan = FaultPlan::none()
             .with(InjectionPoint::DmaMapFailure, PointPlan::with_probability(1.0));
         let (mut driver, mut gpu, mut host) =
-            inject_setup(16, DriverPolicy::default().retries(1), plan);
+            inject_setup(16, DriverPolicy::default().retries(1), &plan);
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
@@ -1448,14 +1511,13 @@ mod tests {
             .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
             .expect_err("retries must exhaust");
         assert_eq!(err, UvmError::DmaMapFailed { block: id.0 });
-        Ok(())
     }
 
     #[test]
     fn host_unmap_failure_retries_then_succeeds() -> Result<(), UvmError> {
         let plan = FaultPlan::none()
             .with(InjectionPoint::HostPopulateFailure, PointPlan::scheduled(SimTime(0), 1));
-        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
+        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), &plan);
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
@@ -1469,11 +1531,11 @@ mod tests {
     }
 
     #[test]
-    fn exhausted_host_unmap_retries_fail_the_batch() -> Result<(), UvmError> {
+    fn exhausted_host_unmap_retries_fail_the_batch() {
         let plan = FaultPlan::none()
             .with(InjectionPoint::HostPopulateFailure, PointPlan::with_probability(1.0));
         let (mut driver, mut gpu, mut host) =
-            inject_setup(16, DriverPolicy::default().retries(0), plan);
+            inject_setup(16, DriverPolicy::default().retries(0), &plan);
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
@@ -1483,7 +1545,6 @@ mod tests {
             .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))
             .expect_err("retries must exhaust");
         assert_eq!(err, UvmError::HostPopulateFailed { block: id.0 });
-        Ok(())
     }
 
     #[test]
@@ -1491,7 +1552,7 @@ mod tests {
         // Burst of 2 stalls with 3 retries allowed: recovers.
         let plan = FaultPlan::none()
             .with(InjectionPoint::BatchFetchStall, PointPlan::scheduled(SimTime(0), 2));
-        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), plan);
+        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), &plan);
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
@@ -1505,7 +1566,7 @@ mod tests {
         let plan = FaultPlan::none()
             .with(InjectionPoint::BatchFetchStall, PointPlan::scheduled(SimTime(0), 10));
         let (mut driver, mut gpu, mut host) =
-            inject_setup(16, DriverPolicy::default().retries(2), plan);
+            inject_setup(16, DriverPolicy::default().retries(2), &plan);
         let mut asa = AddressSpaceAllocator::new();
         let alloc = asa.alloc(VABLOCK_SIZE);
         driver.managed_alloc(alloc);
@@ -1549,7 +1610,7 @@ mod tests {
     }
 
     #[test]
-    fn identical_seeds_give_identical_record_streams_under_injection() -> Result<(), UvmError> {
+    fn identical_seeds_give_identical_record_streams_under_injection() {
         let run = |seed: u64| {
             let policy = DriverPolicy::default();
             let cost = CostModel::titan_v();
@@ -1575,7 +1636,6 @@ mod tests {
         };
         assert_eq!(run(0x5C21), run(0x5C21), "same seed, byte-identical records");
         assert_ne!(run(0x5C21), run(0x1234), "different seed diverges");
-        Ok(())
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl VaSpace {
 
     /// Total GPU-resident pages across all blocks.
     pub fn total_resident_pages(&self) -> u64 {
-        self.blocks.values().map(|b| b.resident_count() as u64).sum()
+        self.blocks.values().map(|b| u64::from(b.resident_count())).sum()
     }
 }
 

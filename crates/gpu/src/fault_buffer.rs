@@ -90,13 +90,25 @@ impl FaultBuffer {
     /// what has arrived, up to the batch size limit.
     pub fn fetch(&mut self, max: usize, now: SimTime) -> Vec<FaultRecord> {
         let mut out = Vec::with_capacity(max.min(self.entries.len()));
-        while out.len() < max {
+        self.fetch_into(max, now, &mut out);
+        out
+    }
+
+    /// [`FaultBuffer::fetch`] into a caller-owned buffer: appends up to
+    /// `max` arrived entries to `out` and returns how many were appended.
+    /// Lets the run loop reuse one batch allocation across all batches.
+    pub fn fetch_into(&mut self, max: usize, now: SimTime, out: &mut Vec<FaultRecord>) -> usize {
+        let mut taken = 0;
+        while taken < max {
             match self.entries.front() {
-                Some(f) if f.arrival <= now => out.push(self.entries.pop_front().expect("front exists")),
+                Some(f) if f.arrival <= now => {
+                    out.push(self.entries.pop_front().expect("front exists"));
+                    taken += 1;
+                }
                 _ => break,
             }
         }
-        out
+        taken
     }
 
     /// Arrival time of the oldest buffered entry, if any.

@@ -7,7 +7,7 @@
 //! faulted accesses (the scoreboard), and accesses that must re-fault after
 //! a replay found them still non-resident.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use uvm_sim::mem::PageNum;
@@ -53,8 +53,10 @@ pub struct Warp {
     /// `pop` yields them in program order).
     pending_pages: Vec<PageNum>,
     pending_kind: AccessKind,
-    /// Faulted accesses awaiting service: page → access kind.
-    outstanding: HashMap<PageNum, AccessKind>,
+    /// Faulted accesses awaiting service: page → access kind. Ordered so
+    /// every iteration (notably the spurious-reissue RNG pairing) is
+    /// deterministic regardless of process or thread.
+    outstanding: BTreeMap<PageNum, AccessKind>,
     /// Accesses a replay found still non-resident; re-issued (re-faulted)
     /// before the current instruction continues.
     refault: Vec<(PageNum, AccessKind)>,
@@ -75,7 +77,7 @@ impl Warp {
             pc: 0,
             pending_pages: Vec::new(),
             pending_kind: AccessKind::Read,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             refault: Vec::new(),
             faults_generated: 0,
         }
@@ -97,7 +99,7 @@ impl Warp {
         self.outstanding.insert(page, kind);
     }
 
-    /// Iterate the outstanding faulted accesses (unordered).
+    /// Iterate the outstanding faulted accesses in ascending page order.
     pub fn outstanding_accesses(&self) -> impl Iterator<Item = (PageNum, AccessKind)> + '_ {
         self.outstanding.iter().map(|(&p, &k)| (p, k))
     }
@@ -169,7 +171,7 @@ impl Warp {
     pub fn apply_replay(&mut self, is_resident: impl Fn(PageNum) -> bool) -> usize {
         let mut fulfilled = 0;
         let mut still = Vec::new();
-        for (page, kind) in self.outstanding.drain() {
+        for (page, kind) in std::mem::take(&mut self.outstanding) {
             if is_resident(page) {
                 fulfilled += 1;
             } else {

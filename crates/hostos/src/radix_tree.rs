@@ -24,7 +24,10 @@ pub const MAP_MASK: u64 = (MAP_SIZE as u64) - 1;
 
 #[derive(Debug)]
 struct Node<V> {
-    slots: Vec<Option<Slot<V>>>,
+    /// Inline 64-slot array (as in the kernel's `struct radix_tree_node`):
+    /// one cache-friendly block per node, no second pointer hop through a
+    /// heap-allocated slot vector on every level of every walk.
+    slots: [Option<Slot<V>>; MAP_SIZE],
     /// Number of occupied slots; nodes free themselves when it reaches zero.
     count: u32,
 }
@@ -37,9 +40,10 @@ enum Slot<V> {
 
 impl<V> Node<V> {
     fn new() -> Box<Self> {
-        let mut slots = Vec::with_capacity(MAP_SIZE);
-        slots.resize_with(MAP_SIZE, || None);
-        Box::new(Node { slots, count: 0 })
+        Box::new(Node {
+            slots: std::array::from_fn(|_| None),
+            count: 0,
+        })
     }
 }
 

@@ -191,8 +191,8 @@ impl CostModel {
         let mapper_cores = mapper_cores.max(1);
         let per_page = self
             .unmap_per_page
-            .mul_f64(1.0 + self.unmap_extra_mapper_factor * (mapper_cores - 1) as f64);
-        self.unmap_fixed + per_page * pages + self.tlb_shootdown_ipi * mapper_cores as u64
+            .mul_f64(1.0 + self.unmap_extra_mapper_factor * f64::from(mapper_cores - 1));
+        self.unmap_fixed + per_page * pages + self.tlb_shootdown_ipi * u64::from(mapper_cores)
     }
 
     /// Cost of populating (zero-filling) `pages` freshly allocated GPU pages.

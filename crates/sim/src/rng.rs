@@ -79,7 +79,7 @@ impl DetRng {
         if n == 0 {
             0
         } else {
-            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
         }
     }
 

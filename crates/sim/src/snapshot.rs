@@ -30,7 +30,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 #[inline]
 fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
     }
     h
@@ -42,7 +42,7 @@ fn walk(h: u64, v: &Value) -> u64 {
     // cannot collide trivially.
     match v {
         Value::Null => fnv(h, &[0x00]),
-        Value::Bool(b) => fnv(fnv(h, &[0x01]), &[*b as u8]),
+        Value::Bool(b) => fnv(fnv(h, &[0x01]), &[u8::from(*b)]),
         Value::NumU(n) => fnv(fnv(h, &[0x02]), &n.to_le_bytes()),
         Value::NumI(n) => fnv(fnv(h, &[0x03]), &n.to_le_bytes()),
         Value::Float(f) => fnv(fnv(h, &[0x04]), &f.to_bits().to_le_bytes()),

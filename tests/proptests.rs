@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use uvm_core::{SystemConfig, UvmSystem};
 use uvm_driver::bitmap::PageBitmap;
-use uvm_driver::dedup::classify_duplicates;
+use uvm_driver::dedup::{classify_duplicates, classify_duplicates_with, DedupResult, DedupScratch};
 use uvm_driver::evict::{EvictOutcome, GpuMemoryManager};
 use uvm_driver::prefetch::compute_prefetch;
 use uvm_gpu::fault::{AccessKind, FaultRecord};
@@ -129,6 +129,52 @@ proptest! {
             .map(|&(p, _)| p)
             .collect();
         prop_assert_eq!(result.unique.iter().map(|f| f.page.0).collect::<Vec<_>>(), expected);
+    }
+
+    /// The sort-based scratch-reusing dedup fast path is an exact drop-in
+    /// for the reference: identical representatives (page order, upgraded
+    /// access kind, and full per-fault attribution fields) and identical
+    /// same-μTLB vs cross-μTLB duplicate counts, on arbitrary batches with
+    /// mixed read/write kinds — and across scratch reuse.
+    #[test]
+    fn dedup_fast_path_matches_reference(
+        faults in vec((0u64..48, 0u32..8, any::<bool>()), 0..300),
+        second in vec((0u64..48, 0u32..8, any::<bool>()), 0..300),
+    ) {
+        let build = |spec: &[(u64, u32, bool)]| -> Vec<FaultRecord> {
+            spec.iter()
+                .enumerate()
+                .map(|(i, &(p, u, w))| FaultRecord {
+                    page: PageNum(p),
+                    kind: if w { AccessKind::Write } else { AccessKind::Read },
+                    sm: u * 2 + (i as u32 % 2),
+                    utlb: u,
+                    warp: i as u32,
+                    arrival: SimTime(i as u64),
+                    dup_of_outstanding: false,
+                })
+                .collect()
+        };
+        let mut scratch = DedupScratch::default();
+        let mut fast = DedupResult::default();
+        // Two consecutive batches through the same scratch: reuse must not
+        // leak state from the first classification into the second.
+        for spec in [&faults, &second] {
+            let batch = build(spec);
+            let reference = classify_duplicates(&batch);
+            classify_duplicates_with(&batch, &mut scratch, &mut fast);
+            prop_assert_eq!(fast.dup_same_utlb, reference.dup_same_utlb);
+            prop_assert_eq!(fast.dup_cross_utlb, reference.dup_cross_utlb);
+            prop_assert_eq!(fast.unique.len(), reference.unique.len());
+            for (f, r) in fast.unique.iter().zip(&reference.unique) {
+                prop_assert_eq!(f.page, r.page);
+                prop_assert_eq!(f.kind, r.kind);
+                prop_assert_eq!(f.sm, r.sm);
+                prop_assert_eq!(f.utlb, r.utlb);
+                prop_assert_eq!(f.warp, r.warp);
+                prop_assert_eq!(f.arrival, r.arrival);
+            }
+        }
     }
 
     /// The prefetcher never returns already-occupied pages, stays within
