@@ -33,6 +33,18 @@
 //! `service_batch`, event queue, radix lookups). `--quick` trims micro
 //! reps and skips the parallel suite pass (CI smoke).
 //!
+//! ## Policy sweep
+//!
+//! ```text
+//! paper sweep [--quick] [--jobs N] [--bless] [--json <dir>]
+//! ```
+//!
+//! runs the pluggable-policy grid (`ext-policy`): every prefetch policy ×
+//! every eviction policy × four workloads (two regular, two irregular)
+//! under ~125 % oversubscription. Cells fan out across the worker pool;
+//! stdout is byte-identical for any `--jobs N`. `--quick` uses the
+//! CI-smoke problem sizes (golden `ext_policy_quick.txt`).
+//!
 //! ## Checkpoint / resume
 //!
 //! ```text
@@ -276,6 +288,31 @@ fn emit(o: &ExperimentOutput, bless: bool, json_dir: Option<&str>) {
     }
 }
 
+/// `paper sweep`: run the policy × workload grid (`ext-policy`) through
+/// the parallel engine and print the comparison table. `--quick` switches
+/// to the CI-smoke problem sizes (and the `ext-policy-quick` golden);
+/// `--bless`/`--json` behave as for regular experiments.
+fn sweep_command(quick: bool, bless: bool, json_dir: Option<&str>) {
+    let t0 = Instant::now();
+    let r = uvm_core::experiments::ext_policy::run_scaled(SEED, quick);
+    let value = match serde_json::to_value(&r) {
+        Ok(v) => v,
+        Err(err) => fail("serialize ext-policy", err),
+    };
+    let o = ExperimentOutput {
+        id: if quick { "ext-policy-quick" } else { "ext-policy" },
+        title: if quick {
+            "Extension — pluggable policy sweep (quick scale)"
+        } else {
+            "Extension — pluggable policy sweep (prefetch x eviction)"
+        },
+        text: r.render(),
+        value,
+        secs: t0.elapsed().as_secs_f64(),
+    };
+    emit(&o, bless, json_dir);
+}
+
 /// `paper bench`: write the machine-readable perf baseline.
 fn bench_command(jobs: usize, out: Option<&str>, quick: bool) {
     eprintln!(
@@ -382,6 +419,16 @@ fn main() {
 
     if let Err(e) = runctl::configure(ctl) {
         fail("run-control configuration", e);
+    }
+
+    if filter.as_deref() == Some("sweep") {
+        if let Some(dir) = &json_dir {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                fail("create json output dir", err);
+            }
+        }
+        sweep_command(quick, bless, json_dir.as_deref());
+        return;
     }
 
     if filter.as_deref() == Some("trace") {

@@ -152,6 +152,11 @@ pub fn experiments() -> Vec<Experiment> {
             title: "Extension — thrashing mitigation (uvm_perf_thrashing)",
             run: || exp(ext_thrashing::run, |r| r.render()),
         },
+        Experiment {
+            id: "ext-policy",
+            title: "Extension — pluggable policy sweep (prefetch x eviction)",
+            run: || exp(ext_policy::run, |r| r.render()),
+        },
     ]
 }
 

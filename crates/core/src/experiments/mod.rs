@@ -40,6 +40,8 @@ use std::path::{Path, PathBuf};
 pub fn bless_golden(id: &str, rendered: &str) -> std::io::Result<Option<PathBuf>> {
     let file = match id {
         "ext-inject" => "ext_inject.txt",
+        "ext-policy" => "ext_policy.txt",
+        "ext-policy-quick" => "ext_policy_quick.txt",
         _ => return Ok(None),
     };
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -59,6 +61,7 @@ pub fn bless_golden(id: &str, rendered: &str) -> std::io::Result<Option<PathBuf>
 
 pub mod ext_hints;
 pub mod ext_inject;
+pub mod ext_policy;
 pub mod ext_thrashing;
 pub mod fig01_latency;
 pub mod fig03_vecadd;

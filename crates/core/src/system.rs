@@ -334,6 +334,19 @@ impl UvmSystem {
             self.driver.set_advise(alloc, *advise);
         }
 
+        // The oracle prefetcher needs the workload's future access list:
+        // per VABlock, every page any program will touch. Built only when
+        // the oracle is configured (other policies never consult it), and
+        // installed before the first batch so snapshots carry it.
+        if self.driver.policy().prefetch_policy == uvm_driver::PrefetchPolicyKind::Oracle {
+            let mut future: std::collections::BTreeMap<_, uvm_driver::PageBitmap> =
+                std::collections::BTreeMap::new();
+            for page in workload.programs.iter().flat_map(|p| p.touched_pages()) {
+                future.entry(page.va_block()).or_default().set(page.index_in_block());
+            }
+            self.driver.set_future_accesses(future);
+        }
+
         // Explicit prefetches run (synchronously) before the first launch.
         let mut t0 = SimTime::ZERO;
         for alloc in &hints.prefetch {
@@ -613,6 +626,12 @@ impl RunInProgress {
     /// Number of batches serviced so far.
     pub fn batches(&self) -> u64 {
         self.system.driver.num_batches()
+    }
+
+    /// Read access to the driver mid-run (residency conservation checks in
+    /// the invariant test layer).
+    pub fn driver(&self) -> &UvmDriver {
+        &self.system.driver
     }
 
     /// Finish the run: consume the paused loop and produce the

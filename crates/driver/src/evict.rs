@@ -1,4 +1,4 @@
-//! GPU physical-memory management and LRU eviction.
+//! GPU physical-memory management and pluggable eviction.
 //!
 //! UVM tracks all physical GPU allocations and, under oversubscription,
 //! evicts at VABlock (2 MiB) granularity (paper Sec. 2.2, 5.1). Because
@@ -6,12 +6,23 @@
 //! ordering is migration order — effectively *earliest allocated first*
 //! for densely accessed workloads, which is exactly the eviction pattern
 //! Fig. 17(c) visualizes.
+//!
+//! Victim selection is delegated to the policy engine
+//! ([`crate::engine::EvictionPolicy`]). The stock LRU policy keeps its
+//! original allocation-free fast path; alternative policies receive the
+//! candidate set sorted by block id (so `HashMap` iteration order never
+//! leaks into results) plus the manager's own serialized [`DetRng`]
+//! stream (so stochastic policies replay bit-identically across
+//! snapshot/restore).
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use uvm_sim::error::UvmError;
 use uvm_sim::mem::VaBlockId;
+use uvm_sim::rng::DetRng;
+
+use crate::engine::{EvictionPolicyKind, VictimCandidate};
 
 /// Outcome of a block-residency request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,24 +36,48 @@ pub enum EvictOutcome {
     Evicted(Vec<VaBlockId>),
 }
 
+/// Per-resident-block bookkeeping consulted by eviction policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct BlockMeta {
+    /// Migration sequence number of the last batch that touched the block
+    /// (the LRU key).
+    last_migrate: u64,
+    /// How many batches have migrated pages into the block (the LFU key).
+    touches: u64,
+}
+
 /// The GPU physical-memory manager.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct GpuMemoryManager {
     capacity_blocks: u64,
-    /// Resident blocks → the LRU key (migration sequence number).
-    resident: HashMap<VaBlockId, u64>,
+    /// Resident blocks → their policy bookkeeping.
+    resident: HashMap<VaBlockId, BlockMeta>,
     /// Monotone count of evictions performed.
     evictions: u64,
+    /// Which eviction policy picks victims.
+    policy: EvictionPolicyKind,
+    /// The manager's own stream for stochastic policies. Serialized, so a
+    /// restored run's random evictor continues exactly where it left off.
+    rng: DetRng,
 }
 
 impl GpuMemoryManager {
-    /// A manager over `capacity_blocks` 2 MiB chunks of device memory.
+    /// A manager over `capacity_blocks` 2 MiB chunks of device memory,
+    /// with the stock LRU policy.
     pub fn new(capacity_blocks: u64) -> Self {
+        GpuMemoryManager::with_policy(capacity_blocks, EvictionPolicyKind::Lru, 0)
+    }
+
+    /// A manager using `policy` for victim selection; `seed` keys the
+    /// stream stochastic policies draw from.
+    pub fn with_policy(capacity_blocks: u64, policy: EvictionPolicyKind, seed: u64) -> Self {
         assert!(capacity_blocks > 0, "GPU must have at least one block of memory");
         GpuMemoryManager {
             capacity_blocks,
             resident: HashMap::new(),
             evictions: 0,
+            policy,
+            rng: DetRng::new(seed ^ 0xE71C_7015_AB1E_5EED),
         }
     }
 
@@ -66,47 +101,77 @@ impl GpuMemoryManager {
         self.evictions
     }
 
+    /// The active eviction policy.
+    pub fn policy(&self) -> EvictionPolicyKind {
+        self.policy
+    }
+
     /// Record that a batch migrated pages into `block` at sequence `seq`
-    /// (refreshes the LRU key).
+    /// (refreshes the LRU key and bumps the LFU count).
     pub fn touch(&mut self, block: VaBlockId, seq: u64) {
-        if let Some(k) = self.resident.get_mut(&block) {
-            *k = seq;
+        if let Some(m) = self.resident.get_mut(&block) {
+            m.last_migrate = seq;
+            m.touches += 1;
         }
     }
 
-    /// Ensure `block` holds a GPU allocation, evicting LRU victims if the
-    /// device is full. `seq` is the requesting batch's sequence number
-    /// (becomes the block's LRU key).
+    /// Pick the victim for one eviction. LRU keeps the original
+    /// allocation-free scan; other policies get an id-sorted candidate
+    /// vector and the manager's rng.
+    fn select_victim(&mut self) -> Option<VaBlockId> {
+        if self.policy == EvictionPolicyKind::Lru {
+            return self
+                .resident
+                .iter()
+                .min_by_key(|(id, m)| (m.last_migrate, id.0))
+                .map(|(&id, _)| id);
+        }
+        let mut candidates: Vec<VictimCandidate> = self
+            .resident
+            .iter()
+            .map(|(&block, m)| VictimCandidate {
+                block,
+                last_migrate: m.last_migrate,
+                touches: m.touches,
+            })
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.sort_unstable_by_key(|c| c.block.0);
+        let idx = self.policy.as_policy().select(&candidates, &mut self.rng);
+        Some(candidates[idx.min(candidates.len() - 1)].block)
+    }
+
+    /// Ensure `block` holds a GPU allocation, evicting policy-selected
+    /// victims if the device is full. `seq` is the requesting batch's
+    /// sequence number (becomes the block's LRU key).
     ///
     /// `Err` is returned only on a broken internal invariant (an empty
     /// resident map while the device reports full) — a state the servicing
     /// pipeline treats as a structured [`UvmError::InvariantViolation`]
     /// rather than a panic.
     pub fn ensure_resident(&mut self, block: VaBlockId, seq: u64) -> Result<EvictOutcome, UvmError> {
-        if let Some(k) = self.resident.get_mut(&block) {
-            *k = seq;
+        if let Some(m) = self.resident.get_mut(&block) {
+            m.last_migrate = seq;
+            m.touches += 1;
             return Ok(EvictOutcome::AlreadyResident);
         }
         if (self.resident.len() as u64) < self.capacity_blocks {
-            self.resident.insert(block, seq);
+            self.resident.insert(block, BlockMeta { last_migrate: seq, touches: 1 });
             return Ok(EvictOutcome::Allocated);
         }
-        // Memory full: evict the least-recently-migrated block. One victim
-        // frees exactly the one chunk we need, but we keep the loop for
-        // robustness against future multi-chunk requests.
+        // Memory full: evict the policy's victim. One victim frees exactly
+        // the one chunk we need, but we keep the loop for robustness
+        // against future multi-chunk requests.
         //
-        // The loop guard makes the `min_by_key` provably non-empty today
+        // The loop guard makes the victim scan provably non-empty today
         // (`len >= capacity` and the constructor asserts `capacity > 0`);
         // the error path exists so a future capacity-0 or concurrent-release
         // bug surfaces as a typed error instead of a panic.
         let mut victims = Vec::new();
         while (self.resident.len() as u64) >= self.capacity_blocks {
-            let Some(victim) = self
-                .resident
-                .iter()
-                .min_by_key(|(id, &k)| (k, id.0))
-                .map(|(&id, _)| id)
-            else {
+            let Some(victim) = self.select_victim() else {
                 return Err(UvmError::InvariantViolation {
                     subsystem: "gpu-mem",
                     block: block.0,
@@ -117,7 +182,7 @@ impl GpuMemoryManager {
             self.evictions += 1;
             victims.push(victim);
         }
-        self.resident.insert(block, seq);
+        self.resident.insert(block, BlockMeta { last_migrate: seq, touches: 1 });
         Ok(EvictOutcome::Evicted(victims))
     }
 
@@ -211,5 +276,73 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_capacity_rejected() {
         let _ = GpuMemoryManager::new(0);
+    }
+
+    #[test]
+    fn lfu_evicts_least_migrated_block() -> Result<(), UvmError> {
+        let mut mm = GpuMemoryManager::with_policy(3, EvictionPolicyKind::Lfu, 0);
+        mm.ensure_resident(VaBlockId(1), 1)?;
+        mm.ensure_resident(VaBlockId(2), 2)?;
+        mm.ensure_resident(VaBlockId(3), 3)?;
+        // Blocks 1 and 3 accumulate extra migrations; block 2 stays cold.
+        mm.touch(VaBlockId(1), 4);
+        mm.touch(VaBlockId(3), 5);
+        mm.touch(VaBlockId(1), 6);
+        assert_eq!(
+            mm.ensure_resident(VaBlockId(9), 7)?,
+            EvictOutcome::Evicted(vec![VaBlockId(2)])
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn random_eviction_is_seed_deterministic_and_valid() -> Result<(), UvmError> {
+        let run = |seed: u64| -> Result<Vec<VaBlockId>, UvmError> {
+            let mut mm = GpuMemoryManager::with_policy(4, EvictionPolicyKind::Random, seed);
+            for i in 1..=4u64 {
+                mm.ensure_resident(VaBlockId(i), i)?;
+            }
+            let mut evicted = Vec::new();
+            for i in 5..=20u64 {
+                if let EvictOutcome::Evicted(v) = mm.ensure_resident(VaBlockId(i), i)? {
+                    evicted.extend(v);
+                }
+            }
+            Ok(evicted)
+        };
+        let a = run(0x5C21)?;
+        let b = run(0x5C21)?;
+        assert_eq!(a, b, "same seed must evict the same victims");
+        assert_eq!(a.len(), 16);
+        let c = run(0x5C22)?;
+        assert_ne!(a, c, "different seeds should pick different victim orders");
+        Ok(())
+    }
+
+    #[test]
+    fn manager_snapshot_round_trips_with_policy_state() -> Result<(), UvmError> {
+        // Serialize a mid-run random-policy manager; the restored copy must
+        // continue with the identical victim stream (rng + meta survive).
+        let mut mm = GpuMemoryManager::with_policy(3, EvictionPolicyKind::Random, 7);
+        for i in 1..=3u64 {
+            mm.ensure_resident(VaBlockId(i), i)?;
+        }
+        for i in 4..=9u64 {
+            mm.ensure_resident(VaBlockId(i), i)?;
+        }
+        let json = serde_json::to_string(&mm).expect("serialize");
+        let mut restored: GpuMemoryManager = serde_json::from_str(&json).expect("deserialize");
+        let mut next_live = Vec::new();
+        let mut next_restored = Vec::new();
+        for i in 10..=20u64 {
+            if let EvictOutcome::Evicted(v) = mm.ensure_resident(VaBlockId(i), i)? {
+                next_live.extend(v);
+            }
+            if let EvictOutcome::Evicted(v) = restored.ensure_resident(VaBlockId(i), i)? {
+                next_restored.extend(v);
+            }
+        }
+        assert_eq!(next_live, next_restored);
+        Ok(())
     }
 }

@@ -16,9 +16,14 @@
 //!   address, same μTLB) vs type 2 (same address, different μTLBs).
 //! * [`prefetch`] — the reactive tree-based density prefetcher, confined to
 //!   a single VABlock (64 KiB leaf regions, >50 % density threshold).
+//! * [`engine`] — the pluggable policy engine: object-safe
+//!   [`engine::PrefetchPolicy`] / [`engine::EvictionPolicy`] traits with
+//!   the stock
+//!   tree/LRU pair plus none/stride/oracle prefetchers and random/LFU
+//!   evictors, all serde-configurable through [`DriverPolicy`].
 //! * [`evict`] — the GPU physical-memory manager: VABlock-granular
-//!   allocation with LRU ("effectively earliest-allocated", Sec. 5.4)
-//!   eviction.
+//!   allocation with policy-selected eviction (stock: LRU, "effectively
+//!   earliest-allocated", Sec. 5.4).
 //! * [`batch`] — [`BatchRecord`], the batch-level instrumentation mirroring
 //!   the paper's modified-driver logs: component times (fetch, DMA setup,
 //!   CPU unmap, population, transfer, eviction), fault counts, duplicate
@@ -37,6 +42,7 @@ pub mod audit;
 pub mod batch;
 pub mod bitmap;
 pub mod dedup;
+pub mod engine;
 pub mod evict;
 pub mod policy;
 pub mod prefetch;
@@ -48,6 +54,10 @@ pub use advise::MemAdvise;
 pub use batch::BatchRecord;
 pub use bitmap::PageBitmap;
 pub use dedup::{classify_duplicates, classify_duplicates_with, DedupResult, DedupScratch};
+pub use engine::{
+    EvictionPolicy, EvictionPolicyKind, PrefetchContext, PrefetchPolicy, PrefetchPolicyKind,
+    VictimCandidate,
+};
 pub use evict::{EvictOutcome, GpuMemoryManager};
 pub use policy::DriverPolicy;
 pub use prefetch::compute_prefetch;

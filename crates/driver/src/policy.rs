@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use uvm_sim::time::SimDuration;
 
+use crate::engine::{EvictionPolicyKind, PrefetchPolicyKind};
+
 /// UVM driver policy knobs. Defaults match the stock `nvidia-uvm` driver
 /// configuration the paper studies.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -15,6 +17,14 @@ pub struct DriverPolicy {
     /// Density threshold for the prefetcher: a subtree is prefetched when
     /// strictly more than this fraction of its pages are faulted/resident.
     pub prefetch_threshold: f64,
+    /// Which prefetcher runs when `prefetch_enabled` is set (the policy
+    /// engine, [`crate::engine`]). `prefetch_enabled` remains the master
+    /// gate so pre-engine configurations keep their meaning.
+    pub prefetch_policy: PrefetchPolicyKind,
+    /// Which evictor picks victims when device memory is full.
+    pub eviction_policy: EvictionPolicyKind,
+    /// Expansion depth (in pages) for the sequential-stride prefetcher.
+    pub stride_pages: u32,
     /// Whether to retain per-fault metadata (the paper's first instrumented
     /// driver variant). Costs memory on long runs; batch-level records are
     /// always kept.
@@ -59,6 +69,9 @@ impl Default for DriverPolicy {
             batch_limit: 256,
             prefetch_enabled: false,
             prefetch_threshold: 0.5,
+            prefetch_policy: PrefetchPolicyKind::default(),
+            eviction_policy: EvictionPolicyKind::default(),
+            stride_pages: 16,
             log_fault_metadata: false,
             dedup_enabled: true,
             flush_on_replay: true,
@@ -80,6 +93,28 @@ impl DriverPolicy {
             prefetch_enabled: true,
             ..Default::default()
         }
+    }
+
+    /// Builder-style prefetcher selection. Also sets `prefetch_enabled`
+    /// so `prefetcher(kind)` alone is a complete configuration
+    /// (`PrefetchPolicyKind::None` disables prefetching outright —
+    /// equivalent to the stock `prefetch_enabled: false`).
+    pub fn prefetcher(mut self, kind: PrefetchPolicyKind) -> Self {
+        self.prefetch_policy = kind;
+        self.prefetch_enabled = kind != PrefetchPolicyKind::None;
+        self
+    }
+
+    /// Builder-style evictor selection.
+    pub fn evictor(mut self, kind: EvictionPolicyKind) -> Self {
+        self.eviction_policy = kind;
+        self
+    }
+
+    /// Builder-style stride depth for the sequential-stride prefetcher.
+    pub fn stride(mut self, pages: u32) -> Self {
+        self.stride_pages = pages;
+        self
     }
 
     /// Builder-style batch limit override (Fig. 9 sweep).
@@ -151,6 +186,34 @@ mod tests {
         assert!(p.prefetch_enabled);
         assert_eq!(p.batch_limit, 1024);
         assert!(p.log_fault_metadata);
+    }
+
+    #[test]
+    fn policy_engine_defaults_match_stock_driver() {
+        let p = DriverPolicy::default();
+        assert_eq!(p.prefetch_policy, PrefetchPolicyKind::TreeDensity);
+        assert_eq!(p.eviction_policy, EvictionPolicyKind::Lru);
+        assert_eq!(p.stride_pages, 16);
+        // with_prefetch() is exactly prefetcher(TreeDensity).
+        assert_eq!(
+            DriverPolicy::with_prefetch(),
+            DriverPolicy::default().prefetcher(PrefetchPolicyKind::TreeDensity)
+        );
+    }
+
+    #[test]
+    fn prefetcher_builder_gates_on_none() {
+        let p = DriverPolicy::default().prefetcher(PrefetchPolicyKind::Oracle);
+        assert!(p.prefetch_enabled);
+        assert_eq!(p.prefetch_policy, PrefetchPolicyKind::Oracle);
+        let p = p.prefetcher(PrefetchPolicyKind::None);
+        assert!(!p.prefetch_enabled);
+        let p = DriverPolicy::default()
+            .prefetcher(PrefetchPolicyKind::SequentialStride)
+            .stride(64)
+            .evictor(EvictionPolicyKind::Lfu);
+        assert_eq!(p.stride_pages, 64);
+        assert_eq!(p.eviction_policy, EvictionPolicyKind::Lfu);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! (sysmem-mapped) state when migration keeps failing. Only unrecoverable
 //! failures propagate to the caller.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 use uvm_gpu::device::Gpu;
@@ -63,9 +63,9 @@ fn mark(rec: &BatchRecord, event: impl FnOnce() -> TraceEvent) {
 }
 use crate::bitmap::PageBitmap;
 use crate::dedup::{classify_duplicates_with, DedupResult, DedupScratch};
+use crate::engine::{run_prefetch_policy, PrefetchContext};
 use crate::evict::{EvictOutcome, GpuMemoryManager};
 use crate::policy::DriverPolicy;
-use crate::prefetch::compute_prefetch;
 use crate::va_space::VaSpace;
 
 /// Reusable per-batch working memory for [`UvmDriver::service_batch_with`].
@@ -93,9 +93,11 @@ pub struct ServiceScratch {
 /// DMA space, and the batch log.
 ///
 /// The driver is fully serializable: a snapshot captures the VA-space and
-/// VABlock trees, the eviction LRU, the DMA space (including the reverse
-/// radix tree), the jitter RNG mid-stream, both driver-owned injectors, and
-/// the complete batch log, so a restored driver continues bit-identically.
+/// VABlock trees, the eviction bookkeeping (including the evictor's own
+/// RNG stream and LFU counters), the oracle prefetcher's future-access
+/// table, the DMA space (including the reverse radix tree), the jitter RNG
+/// mid-stream, both driver-owned injectors, and the complete batch log, so
+/// a restored driver continues bit-identically under any policy stack.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct UvmDriver {
     policy: DriverPolicy,
@@ -116,16 +118,23 @@ pub struct UvmDriver {
     inj_fetch: PointInjector,
     /// Fault-buffer overflow drops already attributed to earlier batches.
     overflow_seen: u64,
+    /// The oracle prefetcher's future-access table: per VABlock, every
+    /// page the workload will touch. Installed by the system layer before
+    /// the run starts ([`Self::set_future_accesses`]); empty for every
+    /// other prefetch policy. Serialized with the driver so a restored
+    /// oracle run keeps its foresight.
+    oracle_future: BTreeMap<VaBlockId, PageBitmap>,
 }
 
 impl UvmDriver {
     /// A driver managing a GPU with `capacity_blocks` 2 MiB chunks.
     pub fn new(policy: DriverPolicy, cost: CostModel, capacity_blocks: u64, seed: u64) -> Self {
+        let mem = GpuMemoryManager::with_policy(capacity_blocks, policy.eviction_policy, seed);
         UvmDriver {
             policy,
             cost,
             va_space: VaSpace::new(),
-            mem: GpuMemoryManager::new(capacity_blocks),
+            mem,
             dma: DmaSpace::new(),
             rng: DetRng::new(seed ^ 0xD21A_55E5),
             batch_seq: 0,
@@ -134,7 +143,16 @@ impl UvmDriver {
             inj_copy: PointInjector::disabled(),
             inj_fetch: PointInjector::disabled(),
             overflow_seen: 0,
+            oracle_future: BTreeMap::new(),
         }
+    }
+
+    /// Install the oracle prefetcher's future-access table: for each
+    /// VABlock, the set of pages the workload will ever touch. A no-op
+    /// for every other prefetch policy (the table is only consulted by
+    /// [`crate::engine::OraclePrefetch`]).
+    pub fn set_future_accesses(&mut self, future: BTreeMap<VaBlockId, PageBitmap>) {
+        self.oracle_future = future;
     }
 
     /// Install the driver-owned fault injectors (DMA map, copy engine,
@@ -562,13 +580,21 @@ impl UvmDriver {
                 continue;
             }
 
-            // Prefetch expansion, confined to this block.
+            // Prefetch expansion, confined to this block, dispatched
+            // through the policy engine. The engine's invariant mask is an
+            // identity for the stock tree policy, so TreeDensity output is
+            // bit-identical to a direct `compute_prefetch` call.
             let prefetched = if self.policy.prefetch_enabled {
-                compute_prefetch(
-                    &self.va_space.block(block_id).gpu_resident,
-                    &faulted,
-                    valid,
-                    self.policy.prefetch_threshold,
+                run_prefetch_policy(
+                    self.policy.prefetch_policy,
+                    &PrefetchContext {
+                        resident: &self.va_space.block(block_id).gpu_resident,
+                        faulted: &faulted,
+                        valid_pages: valid,
+                        threshold: self.policy.prefetch_threshold,
+                        stride_pages: self.policy.stride_pages,
+                        future: self.oracle_future.get(&block_id),
+                    },
                 )
             } else {
                 PageBitmap::EMPTY
@@ -665,6 +691,12 @@ impl UvmDriver {
                 self.va_space.try_block_mut(block_id)?.gpu_allocated = true;
             }
             EvictOutcome::Evicted(victims) => {
+                let policy_name = self.mem.policy().name();
+                mark(rec, || TraceEvent::EvictDecision {
+                    batch: seq,
+                    policy: policy_name.into(),
+                    victims: victims.len() as u64,
+                });
                 for victim in victims {
                     rec.evicted_blocks.push(victim.0);
                     let vstate = self.va_space.try_block_mut(victim)?;

@@ -255,6 +255,17 @@ pub enum TraceEvent {
         /// Pages added by tree-density expansion.
         prefetched: u64,
     },
+    /// The eviction policy picked victims for a full device (instant,
+    /// emitted once per eviction episode — the per-victim costs are the
+    /// [`TraceEvent::Evict`] spans that follow).
+    EvictDecision {
+        /// Batch sequence number.
+        batch: u64,
+        /// Active eviction policy name (`lru`, `random`, `lfu`).
+        policy: String,
+        /// Victims evicted in this episode.
+        victims: u64,
+    },
 
     // ---- driver: component spans ----
     /// Span: fetching fault entries from the GPU buffer (`t_fetch`).
@@ -373,6 +384,7 @@ impl TraceEvent {
             TraceEvent::DedupHit { .. } => "dedup-hit",
             TraceEvent::FaultServiced { .. } => "fault-serviced",
             TraceEvent::PrefetchDecision { .. } => "prefetch-decision",
+            TraceEvent::EvictDecision { .. } => "evict-decision",
             TraceEvent::Fetch { .. } => "fetch",
             TraceEvent::Preprocess { .. } => "preprocess",
             TraceEvent::VaBlockLock { .. } => "vablock-lock",
@@ -437,6 +449,7 @@ impl TraceEvent {
             | TraceEvent::DedupHit { batch, .. }
             | TraceEvent::FaultServiced { batch, .. }
             | TraceEvent::PrefetchDecision { batch, .. }
+            | TraceEvent::EvictDecision { batch, .. }
             | TraceEvent::Fetch { batch, .. }
             | TraceEvent::Preprocess { batch, .. }
             | TraceEvent::VaBlockLock { batch, .. }

@@ -20,15 +20,19 @@
 //! | [`gauss_seidel`] | Gauss-Seidel | row-sweep 2-D stencil, multiple iterations |
 //! | [`hpgmg`] | HPGMG-FV | multigrid V-cycles over a level hierarchy |
 //! | [`spmv`] | (extension) CSR SpMV | banded + scattered gathers, the irregular class of EMOGI / adaptive-migration work |
+//! | [`graph_bfs`] | (extension) graph BFS | pointer-chasing level-synchronous traversal, one kernel per level |
+//! | [`attention`] | (extension) batched attention | sequential query streaming + skewed hot/cold KV-table gathers per batch |
 //!
 //! Each generator returns a self-contained [`Workload`]: managed
 //! allocations, per-warp programs, and the CPU-side initialization touches
 //! (which thread first-touched which page — the input to the Fig. 11
 //! host-OS unmap analysis).
 
+pub mod attention;
 pub mod cpu_init;
 pub mod fft;
 pub mod gauss_seidel;
+pub mod graph_bfs;
 pub mod hpgmg;
 pub mod prefetch_ub;
 pub mod random;

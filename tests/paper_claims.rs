@@ -217,6 +217,69 @@ fn claim_prefetch_does_not_rescue_irregular_apps() {
     assert!(pf.evictions > 0 && base.evictions > 0);
 }
 
+/// Sec. 5.2 / Figs. 14–16, through the pluggable policy engine: one quick
+/// policy × workload grid (the same cells `paper sweep --quick` renders
+/// and the `ext_policy_quick.txt` golden pins) carries three claims:
+///
+/// 1. Fig. 14: for dense access (the Gauss-Seidel row sweep), the tree
+///    density prefetcher collapses the batch count and speeds the kernel —
+///    the locality is exactly what the density heuristic detects.
+/// 2. Sec. 5.3 (citing Ganguly et al.): for irregular pointer-chasing
+///    access (graph BFS) under oversubscription, the same prefetcher finds
+///    nothing to expand — no meaningful batch reduction, no speedup, and
+///    at least as many pages migrated (the churn Fig. 15's combined
+///    eviction + prefetching panels warn about).
+/// 3. The oracle prefetcher (perfect future knowledge) is the upper bound
+///    reactive and learned schemes chase: on every workload it needs the
+///    fewest batches and the least kernel time of any prefetcher.
+#[test]
+fn claim_policy_grid_matches_section_5_2() {
+    let grid = uvm_core::experiments::ext_policy::run_scaled(0x5C21, true);
+    let cell = |w: &str, p: &str| grid.cell(w, p, "lru").expect("grid cell exists");
+
+    // (1) Dense: tree collapses batches and speeds the kernel.
+    let (dense_none, dense_tree) = (cell("gauss-seidel", "none"), cell("gauss-seidel", "tree"));
+    assert!(
+        dense_tree.batches * 4 < dense_none.batches,
+        "tree should collapse dense batches: {} vs {}",
+        dense_tree.batches,
+        dense_none.batches
+    );
+    assert!(dense_tree.kernel_ms < dense_none.kernel_ms);
+
+    // (2) Irregular: tree neither reduces batches meaningfully nor speeds
+    // the kernel, and migrates at least as much data.
+    let (bfs_none, bfs_tree) = (cell("graph-bfs", "none"), cell("graph-bfs", "tree"));
+    assert!(
+        bfs_tree.batches * 20 >= bfs_none.batches * 19,
+        "tree should not meaningfully cut irregular batches: {} vs {}",
+        bfs_tree.batches,
+        bfs_none.batches
+    );
+    assert!(
+        bfs_tree.kernel_ms >= bfs_none.kernel_ms * 0.9,
+        "no speedup on pointer-chasing access: {:.2} vs {:.2}",
+        bfs_tree.kernel_ms,
+        bfs_none.kernel_ms
+    );
+    assert!(bfs_tree.pages_migrated >= bfs_none.pages_migrated);
+
+    // (3) Oracle is the per-workload upper bound across prefetchers.
+    for w in ["vecadd", "gauss-seidel", "graph-bfs", "attention"] {
+        let oracle = cell(w, "oracle");
+        for p in ["none", "tree", "stride"] {
+            let other = cell(w, p);
+            assert!(
+                oracle.kernel_ms <= other.kernel_ms,
+                "{w}: oracle {:.2} ms beaten by {p} {:.2} ms",
+                oracle.kernel_ms,
+                other.kernel_ms
+            );
+            assert!(oracle.batches <= other.batches, "{w}: oracle batches vs {p}");
+        }
+    }
+}
+
 /// Sec. 6 "Driver Serialization": the GPU is generally stalled during
 /// driver fault processing — kernel time is dominated by batch time for
 /// fault-heavy runs.

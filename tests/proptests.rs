@@ -203,6 +203,77 @@ proptest! {
         prop_assert!(cover2 >= cover1, "coverage {cover2} < {cover1}");
     }
 
+    /// The tree prefetcher is monotone in its density threshold: lowering
+    /// the threshold never shrinks the prefetch set (a stricter density
+    /// requirement can only drop subtrees, never add them), and every
+    /// threshold's output honours the occupancy/range contract.
+    #[test]
+    fn prefetch_monotone_in_threshold(
+        resident in vec(0usize..512, 0..256),
+        faulted in vec(0usize..512, 1..128),
+        valid in 64u32..=512,
+        t_lo_pct in 5u32..95,
+        dt_pct in 0u32..90,
+    ) {
+        let resident: PageBitmap = resident.into_iter().filter(|&i| (i as u32) < valid).collect();
+        let faulted: PageBitmap = faulted.into_iter().filter(|&i| (i as u32) < valid).collect();
+        let faulted = faulted.and_not(&resident);
+        let t_lo = f64::from(t_lo_pct) / 100.0;
+        let t_hi = (f64::from(t_lo_pct + dt_pct) / 100.0).min(0.99);
+        let at_lo = compute_prefetch(&resident, &faulted, valid, t_lo);
+        let at_hi = compute_prefetch(&resident, &faulted, valid, t_hi);
+        // The stricter threshold's set is contained in the looser one's.
+        prop_assert!(
+            at_hi.and_not(&at_lo).is_empty(),
+            "threshold {t_hi} prefetched pages threshold {t_lo} did not"
+        );
+        for pf in [&at_lo, &at_hi] {
+            prop_assert!(pf.and(&resident.or(&faulted)).is_empty());
+            prop_assert!(pf.iter_set().all(|i| (i as u32) < valid));
+        }
+    }
+
+    /// The policy engine's output contract holds for *every* prefetch
+    /// policy kind on arbitrary inputs: never a resident or faulted page,
+    /// never a page at or beyond `valid_pages` — the engine masks whatever
+    /// a policy returns, so this holds by construction even for policies
+    /// (stride, oracle) that compute raw candidate sets carelessly.
+    #[test]
+    fn policy_engine_output_is_always_safe(
+        resident in vec(0usize..512, 0..256),
+        faulted in vec(0usize..512, 1..128),
+        future in vec(0usize..512, 0..256),
+        valid in 16u32..=512,
+        stride in 1u32..64,
+        threshold_pct in 5u32..95,
+    ) {
+        use uvm_driver::engine::run_prefetch_policy;
+        use uvm_driver::{PrefetchContext, PrefetchPolicyKind};
+
+        let resident: PageBitmap = resident.into_iter().filter(|&i| (i as u32) < valid).collect();
+        let faulted: PageBitmap = faulted.into_iter().filter(|&i| (i as u32) < valid).collect();
+        let faulted = faulted.and_not(&resident);
+        let future: PageBitmap = future.into_iter().collect();
+        for kind in PrefetchPolicyKind::ALL {
+            let pf = run_prefetch_policy(kind, &PrefetchContext {
+                resident: &resident,
+                faulted: &faulted,
+                valid_pages: valid,
+                threshold: f64::from(threshold_pct) / 100.0,
+                stride_pages: stride,
+                future: Some(&future),
+            });
+            prop_assert!(
+                pf.and(&resident.or(&faulted)).is_empty(),
+                "{} returned an occupied page", kind.name()
+            );
+            prop_assert!(
+                pf.iter_set().all(|i| (i as u32) < valid),
+                "{} escaped the valid range", kind.name()
+            );
+        }
+    }
+
     /// LRU memory manager: capacity is never exceeded, victims are always
     /// the least recently used, and eviction counts are exact.
     #[test]
