@@ -45,6 +45,24 @@
 //! stdout is byte-identical for any `--jobs N`. `--quick` uses the
 //! CI-smoke problem sizes (golden `ext_policy_quick.txt`).
 //!
+//! ## Chaos fuzzing
+//!
+//! ```text
+//! paper chaos [--trials N] [--seed S] [--jobs N]    # seeded campaign
+//! paper chaos --repro path/to/repro.json            # replay one scenario
+//! ```
+//!
+//! `chaos` runs the deterministic scenario fuzzer
+//! ([`uvm_core::chaos`]): each trial composes a workload × policy stack ×
+//! fault plan × oversubscription × kill/restore schedule, runs it in
+//! torture mode (snapshot → JSON → kill → restore at fuzzer-chosen batch
+//! boundaries) against a clean one-shot reference, and requires
+//! bit-identical final digests and batch records plus a clean cross-layer
+//! audit. Failures shrink to a minimal scenario and are written as repro
+//! files (`chaos-repro-<trial>.json`, or into `--out <dir>`); replay one
+//! with `--repro`. Exit status is non-zero if any trial fails. Output is
+//! byte-identical for any `--jobs N`.
+//!
 //! ## Checkpoint / resume
 //!
 //! ```text
@@ -99,6 +117,59 @@ use uvm_core::SystemConfig;
 fn fail(context: &str, err: impl std::fmt::Display) -> ! {
     eprintln!("error: {context}: {err}");
     std::process::exit(1);
+}
+
+/// `paper chaos`: run a seeded chaos campaign (or replay one repro file)
+/// and exit non-zero on any divergence, audit failure, or error.
+fn chaos_command(trials: u64, seed: u64, repro: Option<&str>, out_dir: Option<&str>) {
+    use uvm_core::chaos;
+
+    if let Some(path) = repro {
+        let file = match chaos::ReproFile::load(std::path::Path::new(path)) {
+            Ok(f) => f,
+            Err(e) => fail(&format!("load repro {path}"), e),
+        };
+        println!("replaying repro: {}", file.description);
+        let verdict = chaos::run_trial(&file.scenario);
+        match &verdict {
+            chaos::TrialVerdict::Pass => {
+                println!("repro passes: 0 divergences, 0 audit failures");
+            }
+            chaos::TrialVerdict::Divergence(d) => println!("repro FAILS (divergence): {d}"),
+            chaos::TrialVerdict::AuditFailure(d) => println!("repro FAILS (audit): {d}"),
+            chaos::TrialVerdict::RunError(d) => println!("repro FAILS (error): {d}"),
+        }
+        if verdict.is_failure() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!("chaos: {trials} trials, seed {seed:#x}");
+    let report = chaos::run_campaign(trials, seed);
+    print!("{}", report.render());
+    if !report.clean() {
+        // Persist each shrunk failure so it can be replayed and committed.
+        let dir = out_dir.unwrap_or(".");
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            fail("create repro output dir", err);
+        }
+        for f in &report.failures {
+            let path = std::path::Path::new(dir).join(format!("chaos-repro-{}.json", f.trial));
+            let file = chaos::ReproFile {
+                description: format!(
+                    "shrunk from campaign seed {seed:#x} trial {}: {:?}",
+                    f.trial, f.verdict
+                ),
+                scenario: f.scenario.clone(),
+            };
+            match file.save(&path) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Lockstep divergence-detector demo: two identically-seeded systems, one
@@ -345,6 +416,9 @@ fn main() {
     let mut bless = false;
     let mut quick = false;
     let mut jobs: Option<usize> = None;
+    let mut trials: u64 = 25;
+    let mut seed: u64 = 0;
+    let mut repro: Option<String> = None;
     let mut ctl = RunCtl::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -365,6 +439,19 @@ fn main() {
                 }
                 jobs = Some(n);
             }
+            "--trials" => {
+                trials = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--trials needs a positive count");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--repro" => repro = it.next(),
             "--checkpoint-every" => {
                 let n = it
                     .next()
@@ -414,6 +501,11 @@ fn main() {
 
     if filter.as_deref() == Some("bench") {
         bench_command(effective, out_dir.as_deref(), quick);
+        return;
+    }
+
+    if filter.as_deref() == Some("chaos") {
+        chaos_command(trials, seed, repro.as_deref(), out_dir.as_deref());
         return;
     }
 

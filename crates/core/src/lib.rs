@@ -45,6 +45,7 @@
 //! * [`divergence`] — lockstep execution of two instances, reporting the
 //!   first batch and subsystem whose state digests disagree.
 
+pub mod chaos;
 pub mod config;
 pub mod divergence;
 pub mod experiments;
@@ -54,6 +55,7 @@ pub mod runctl;
 pub mod snapshot;
 pub mod system;
 
+pub use chaos::{ChaosReport, ReproFile, Scenario};
 pub use config::SystemConfig;
 pub use snapshot::SystemSnapshot;
 pub use system::{Progress, RunHints, RunInProgress, RunResult, UvmSystem};

@@ -21,7 +21,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use uvm_sim::error::UvmError;
 
@@ -56,8 +56,13 @@ struct CtlState {
 static CTL: OnceLock<Mutex<CtlState>> = OnceLock::new();
 static ORDINAL: AtomicU64 = AtomicU64::new(0);
 
-fn state() -> &'static Mutex<CtlState> {
+/// Lock the policy state. A poisoned lock is recovered rather than
+/// propagated: the state is a plain policy value mutated only by whole
+/// assignments, so a panic in another thread cannot leave it torn.
+fn state() -> MutexGuard<'static, CtlState> {
     CTL.get_or_init(|| Mutex::new(CtlState::default()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Install the process-wide policy. Call once, before any experiment runs.
@@ -68,7 +73,7 @@ pub fn configure(ctl: RunCtl) -> Result<(), UvmError> {
         Some(path) => Some(SystemSnapshot::load(path)?),
         None => None,
     };
-    let mut s = state().lock().unwrap();
+    let mut s = state();
     s.ctl = ctl;
     s.resume = resume;
     Ok(())
@@ -92,7 +97,7 @@ pub struct RunSession {
 pub(crate) fn begin_run(workload_digest: u64, config_digest: u64) -> RunSession {
     let ordinal = ORDINAL.fetch_add(1, Ordering::SeqCst);
     let key = run_key(ordinal, workload_digest, config_digest);
-    let mut s = state().lock().unwrap();
+    let mut s = state();
     let resume = match &s.resume {
         Some(snap) if snap.run_key == key => s.resume.take(),
         _ => None,

@@ -116,9 +116,26 @@ impl SystemSnapshot {
     /// a `.tmp` sibling first and are renamed into place, so a crash
     /// mid-write never leaves a torn checkpoint where a good one stood.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).expect("snapshot serialization is infallible");
+        self.save_with(path, |p, bytes| fs::write(p, bytes))
+    }
+
+    /// [`Self::save`] with a pluggable byte sink for the tmp-file write.
+    /// The crash-consistency tests inject partial writes and I/O errors
+    /// here; the rename only happens after the sink reports success, so a
+    /// failed (even torn) tmp write leaves any previous checkpoint at
+    /// `path` untouched.
+    pub fn save_with<W>(&self, path: &Path, write_tmp: W) -> std::io::Result<()>
+    where
+        W: FnOnce(&Path, &[u8]) -> std::io::Result<()>,
+    {
+        let json = serde_json::to_string(self).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("snapshot serialization failed: {e}"),
+            )
+        })?;
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, json)?;
+        write_tmp(&tmp, json.as_bytes())?;
         fs::rename(&tmp, path)
     }
 
@@ -253,6 +270,61 @@ mod tests {
         snap.driver = Value::NumU(99);
         let err = snap.verify_integrity().unwrap_err();
         assert!(err.to_string().contains("driver"), "got: {err}");
+    }
+
+    #[test]
+    fn torn_tmp_write_preserves_previous_checkpoint() {
+        // The crash-consistency contract: an I/O failure partway through
+        // the tmp-file write (a full disk, a kill) must leave the previous
+        // checkpoint loadable — the rename into place never happens.
+        let mk = |batches: u64| SystemSnapshot {
+            version: SNAPSHOT_VERSION,
+            run_key: 1,
+            batches,
+            workload_name: "t".into(),
+            workload_digest: 5,
+            config: Value::Null,
+            gpu: Value::NumU(batches),
+            driver: Value::NumU(2),
+            host: Value::NumU(3),
+            run: Value::NumU(4),
+            digests: SubsystemDigests {
+                gpu: digest_value(&Value::NumU(batches)),
+                driver: digest_value(&Value::NumU(2)),
+                host: digest_value(&Value::NumU(3)),
+                run: digest_value(&Value::NumU(4)),
+            },
+            trace: Value::Null,
+        };
+        let dir = std::env::temp_dir().join("uvm-snap-crash-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+
+        mk(10).save(&path).unwrap();
+
+        // The next save dies mid-write: half the bytes land, then Err.
+        let err = mk(20)
+            .save_with(&path, |tmp, bytes| {
+                std::fs::write(tmp, &bytes[..bytes.len() / 2])?;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "disk full (injected)",
+                ))
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+
+        // The previous checkpoint is intact and loadable; the torn bytes
+        // only ever existed in the tmp sibling.
+        let back = SystemSnapshot::load(&path).unwrap();
+        assert_eq!(back.batches, 10, "torn write must not clobber the old checkpoint");
+        back.verify_integrity().unwrap();
+
+        // A subsequent healthy save still goes through cleanly.
+        mk(30).save(&path).unwrap();
+        assert_eq!(SystemSnapshot::load(&path).unwrap().batches, 30);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_extension("tmp")).ok();
     }
 
     #[test]

@@ -568,6 +568,26 @@ impl RunInProgress {
                                 let at = arr.max(now);
                                 self.worker = Worker::CheckScheduled(at);
                                 self.queue.schedule(at, Event::DriverCheck);
+                            } else if self.system.gpu.blocked_warps() > 0
+                                && self.system.gpu.gmmu.earliest_request().is_none()
+                            {
+                                // Every fault behind this interrupt was
+                                // dropped by an injected overflow storm and
+                                // nothing else is in flight. Real hardware
+                                // can only drop when the buffer is *full*,
+                                // so the stock driver always has a batch to
+                                // service and its end-of-batch replay wakes
+                                // the dropped accesses; here that batch
+                                // never forms, and without intervention the
+                                // blocked warps would never wake. Issue the
+                                // overflow-recovery replay directly: the
+                                // dropped accesses re-fault, exactly as they
+                                // do after drops during a serviced batch.
+                                let replay_done =
+                                    now + self.system.config.cost.replay_latency;
+                                for (wid, wake) in self.system.gpu.replay(replay_done) {
+                                    self.queue.schedule(wake, Event::WarpStep(wid));
+                                }
                             }
                         } else {
                             let rec = self.system.driver.service_batch_with(
@@ -632,6 +652,16 @@ impl RunInProgress {
     /// the invariant test layer).
     pub fn driver(&self) -> &UvmDriver {
         &self.system.driver
+    }
+
+    /// Read access to the GPU model mid-run (chaos-harness audits).
+    pub fn gpu(&self) -> &Gpu {
+        &self.system.gpu
+    }
+
+    /// Read access to the host-memory model mid-run (chaos-harness audits).
+    pub fn host(&self) -> &HostMemory {
+        &self.system.host
     }
 
     /// Finish the run: consume the paused loop and produce the

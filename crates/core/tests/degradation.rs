@@ -1,0 +1,158 @@
+//! Graceful-degradation coverage: blocks whose migration keeps failing are
+//! degraded to remote (sysmem) mappings, and every later access pays the
+//! remote-access PTE path instead of re-attempting migration.
+//!
+//! These tests pin the accounting (`BatchRecord::degraded_blocks`,
+//! `UvmDriver::degraded_total`) and the remote-path behavior across
+//! checkpoint/restore and under non-stock policy stacks.
+
+use uvm_core::driver::engine::{EvictionPolicyKind, PrefetchPolicyKind};
+use uvm_core::driver::policy::DriverPolicy;
+use uvm_core::sim::inject::{FaultPlan, InjectionPoint, PointPlan};
+use uvm_core::sim::time::SimDuration;
+use uvm_core::workloads::cpu_init::CpuInitPolicy;
+use uvm_core::workloads::stream::{self, StreamParams};
+use uvm_core::workloads::workload::Workload;
+use uvm_core::{Progress, RunHints, RunInProgress, RunResult, SystemConfig, UvmSystem};
+
+const MB: u64 = 1024 * 1024;
+
+/// A stream workload that revisits its pages (`iters: 2`), so blocks
+/// degraded during the first pass are re-accessed — and must take the
+/// remote path — in the second.
+fn revisiting_workload() -> Workload {
+    stream::build(StreamParams {
+        warps: 32,
+        pages_per_warp: 16,
+        iters: 2,
+        warps_per_page: 1,
+        cpu_init: Some(CpuInitPolicy::Striped { threads: 8 }),
+    })
+}
+
+/// Copy-engine faults aggressive enough to exhaust `retries(1)` on several
+/// blocks, forcing degradations.
+fn degrading_config(policy: DriverPolicy) -> SystemConfig {
+    let plan = FaultPlan::none()
+        .with(InjectionPoint::CopyEngineFault, PointPlan::with_probability(0.35));
+    SystemConfig::test_small(16 * MB)
+        .with_policy(policy.retries(1).audited(true))
+        .with_fault_plan(plan)
+}
+
+/// Run uninterrupted; panics on servicing errors (the copy-engine plan is
+/// recoverable by design: failed blocks degrade instead of erroring).
+fn run_reference(config: &SystemConfig, workload: &Workload) -> (RunResult, u64) {
+    let mut run = UvmSystem::new(config.clone())
+        .start(workload, &RunHints::default())
+        .expect("run starts");
+    while !matches!(
+        run.advance_batch(workload).expect("batch services"),
+        Progress::Finished
+    ) {}
+    let degraded_total = run.driver().degraded_total();
+    (run.into_result(workload), degraded_total)
+}
+
+/// Run with a snapshot → JSON → restore cycle at every batch in `kills`.
+fn run_tortured(config: &SystemConfig, workload: &Workload, kills: &[u64]) -> (RunResult, u64) {
+    let mut run = UvmSystem::new(config.clone())
+        .start(workload, &RunHints::default())
+        .expect("run starts");
+    loop {
+        match run.advance_batch(workload).expect("batch services") {
+            Progress::Finished => break,
+            Progress::Batch(n) if kills.contains(&n) => {
+                let snap = run.snapshot(workload, 0);
+                let json = serde_json::to_string(&snap).expect("snapshot serializes");
+                drop(run);
+                let back = serde_json::from_str(&json).expect("snapshot parses");
+                run = RunInProgress::restore(&back, workload).expect("snapshot restores");
+            }
+            Progress::Batch(_) => {}
+        }
+    }
+    let degraded_total = run.driver().degraded_total();
+    (run.into_result(workload), degraded_total)
+}
+
+/// The core assertions shared by every policy stack under test.
+fn assert_degradation_behavior(policy: DriverPolicy) {
+    let workload = revisiting_workload();
+    let config = degrading_config(policy);
+    let (reference, degraded_total) = run_reference(&config, &workload);
+
+    // Accounting: the run must actually degrade blocks, per-batch records
+    // must sum to the driver's cumulative counter, and the batch that
+    // degrades a block also remote-maps its pages.
+    let per_batch: u64 = reference.records.iter().map(|r| r.degraded_blocks).sum();
+    assert!(per_batch > 0, "plan must force at least one degradation");
+    assert_eq!(per_batch, degraded_total, "records must sum to degraded_total");
+    for rec in reference.records.iter().filter(|r| r.degraded_blocks > 0) {
+        assert!(
+            rec.remote_mapped_pages > 0,
+            "degrading batch {} must remote-map the failed block's pages",
+            rec.seq
+        );
+    }
+
+    // Remote-access latency: after the first degradation, revisits to the
+    // degraded blocks take the remote path — later batches keep paying
+    // remote PTE mappings (t_pte with remote_mapped_pages), never a
+    // re-migration of a degraded block.
+    let first = reference
+        .records
+        .iter()
+        .position(|r| r.degraded_blocks > 0)
+        .expect("a degrading batch exists");
+    let later_remote: u64 = reference.records[first + 1..]
+        .iter()
+        .map(|r| r.remote_mapped_pages)
+        .sum();
+    assert!(
+        later_remote > 0,
+        "revisits after degradation must be remotely mapped, not migrated"
+    );
+    for rec in &reference.records[first..] {
+        if rec.remote_mapped_pages > 0 {
+            assert!(
+                rec.t_pte > SimDuration::ZERO,
+                "remote mappings in batch {} must charge PTE latency",
+                rec.seq
+            );
+        }
+    }
+
+    // Checkpoint/restore transparency: killing and restoring mid-run —
+    // including right at/after the first degradation — must reproduce the
+    // identical record stream and cumulative degraded count.
+    let kills = [first as u64 + 1, first as u64 + 3];
+    let (tortured, tortured_total) = run_tortured(&config, &workload, &kills);
+    assert_eq!(tortured_total, degraded_total, "degraded_total must survive restore");
+    let a = serde_json::to_string(&reference.records).expect("records serialize");
+    let b = serde_json::to_string(&tortured.records).expect("records serialize");
+    assert_eq!(a, b, "restored run's batch records must be byte-identical");
+}
+
+#[test]
+fn degradation_accounting_and_remote_path_stock_policy() {
+    assert_degradation_behavior(DriverPolicy::default());
+}
+
+#[test]
+fn degradation_survives_restore_under_stride_prefetch_random_eviction() {
+    assert_degradation_behavior(
+        DriverPolicy::with_prefetch()
+            .prefetcher(PrefetchPolicyKind::SequentialStride)
+            .evictor(EvictionPolicyKind::Random),
+    );
+}
+
+#[test]
+fn degradation_survives_restore_under_lfu_small_batches() {
+    assert_degradation_behavior(
+        DriverPolicy::default()
+            .evictor(EvictionPolicyKind::Lfu)
+            .batch_limit(64),
+    );
+}

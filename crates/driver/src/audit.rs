@@ -22,6 +22,8 @@
 //! And globally:
 //!
 //! 7. The GPU page table holds exactly the pages the driver accounts for.
+//! 8. Residency never exceeds the memory manager's *effective* capacity
+//!    (hardware capacity minus any sustained-pressure reservation).
 
 use uvm_gpu::device::Gpu;
 use uvm_hostos::host::HostMemory;
@@ -117,6 +119,22 @@ pub fn violations(driver: &UvmDriver, gpu: &Gpu, host: &HostMemory) -> Vec<UvmEr
             block: u64::MAX,
             detail: format!(
                 "GPU page table holds {gpu_pages} pages but driver accounts for {accounted_pages}"
+            ),
+        });
+    }
+
+    // 8. Residency respects the effective (pressure-shrunken) capacity.
+    let resident = driver.memory().resident_blocks();
+    let effective = driver.memory().effective_capacity();
+    if resident > effective {
+        out.push(UvmError::InvariantViolation {
+            subsystem: "gpu-mem",
+            block: u64::MAX,
+            detail: format!(
+                "{resident} resident blocks exceed effective capacity {effective} \
+                 (hardware {}, pressure-reserved {})",
+                driver.memory().capacity_blocks(),
+                driver.memory().pressure_reserved()
             ),
         });
     }
@@ -232,6 +250,26 @@ mod tests {
         assert!(vs.iter().any(|e| matches!(
             e,
             UvmError::InvariantViolation { subsystem: "gpu-mem", .. }
+        )));
+        Ok(())
+    }
+
+    #[test]
+    fn residency_over_effective_capacity_is_reported() -> Result<(), UvmError> {
+        let (mut driver, mut gpu, mut host) = setup();
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(4 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let faults: Vec<_> = alloc.va_blocks().map(|b| fault(b.first_page())).collect();
+        driver.service_batch(&faults, &mut gpu, &mut host, SimTime(0))?;
+        assert!(violations(&driver, &gpu, &host).is_empty());
+        // Corrupt: shrink capacity behind the driver's back without
+        // shedding — 4 resident blocks now exceed effective capacity 2.
+        driver.mem.set_pressure(14);
+        let vs = violations(&driver, &gpu, &host);
+        assert!(vs.iter().any(|e| matches!(
+            e,
+            UvmError::InvariantViolation { subsystem: "gpu-mem", block: u64::MAX, .. }
         )));
         Ok(())
     }

@@ -10,6 +10,8 @@
 use serde::{Deserialize, Serialize};
 use uvm_sim::time::{SimDuration, SimTime};
 
+use crate::health::HealthState;
+
 /// Instrumentation for one serviced batch.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BatchRecord {
@@ -89,6 +91,19 @@ pub struct BatchRecord {
     /// Blocks degraded to a remote (sysmem) mapping after migration
     /// retries were exhausted.
     pub degraded_blocks: u64,
+
+    // ---- sustained failure domains & health ----
+    /// Driver health state this batch was serviced under.
+    pub health: HealthState,
+    /// Device blocks reserved away from UVM at batch close (sustained
+    /// memory pressure; 0 when no pressure window is active).
+    pub pressure_reserved: u64,
+    /// Blocks emergency-evicted this batch to fit a shrunken capacity.
+    pub emergency_evictions: u64,
+    /// GPU resets absorbed while servicing this batch.
+    pub gpu_resets: u64,
+    /// Fault entries destroyed by those resets (buffer + in-flight GMMU).
+    pub reset_lost_faults: u64,
 
     // ---- component times ----
     /// Fetching fault entries from the GPU buffer.

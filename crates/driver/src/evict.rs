@@ -59,6 +59,12 @@ pub struct GpuMemoryManager {
     /// The manager's own stream for stochastic policies. Serialized, so a
     /// restored run's random evictor continues exactly where it left off.
     rng: DetRng,
+    /// Blocks currently reserved away from UVM by a sustained
+    /// memory-pressure window; effective capacity shrinks by this much.
+    pressure_reserved: u64,
+    /// Monotone count of emergency evictions (evictions forced by a
+    /// capacity shrink rather than by an allocation request).
+    emergency_evictions: u64,
 }
 
 impl GpuMemoryManager {
@@ -78,12 +84,54 @@ impl GpuMemoryManager {
             evictions: 0,
             policy,
             rng: DetRng::new(seed ^ 0xE71C_7015_AB1E_5EED),
+            pressure_reserved: 0,
+            emergency_evictions: 0,
         }
     }
 
-    /// Device capacity in blocks.
+    /// Device capacity in blocks (hardware size, ignoring pressure).
     pub fn capacity_blocks(&self) -> u64 {
         self.capacity_blocks
+    }
+
+    /// Capacity actually usable by UVM right now: hardware capacity minus
+    /// the pressure reservation, never below one block.
+    pub fn effective_capacity(&self) -> u64 {
+        (self.capacity_blocks - self.pressure_reserved).max(1)
+    }
+
+    /// Blocks currently reserved away by memory pressure.
+    pub fn pressure_reserved(&self) -> u64 {
+        self.pressure_reserved
+    }
+
+    /// Monotone count of emergency evictions forced by capacity shrinks.
+    pub fn emergency_evictions(&self) -> u64 {
+        self.emergency_evictions
+    }
+
+    /// Set the pressure reservation (clamped so at least one block stays
+    /// usable). Shrinking capacity does not evict by itself — call
+    /// [`GpuMemoryManager::shed_over_capacity`] to pick the victims, so
+    /// the caller can run the full writeback path per victim.
+    pub fn set_pressure(&mut self, blocks: u64) {
+        self.pressure_reserved = blocks.min(self.capacity_blocks - 1);
+    }
+
+    /// Emergency eviction: victims (policy-selected, in eviction order)
+    /// that must be written back so residency fits the effective capacity.
+    /// Removes them from the resident set and counts them as both regular
+    /// and emergency evictions; returns them for writeback.
+    pub fn shed_over_capacity(&mut self) -> Vec<VaBlockId> {
+        let mut victims = Vec::new();
+        while (self.resident.len() as u64) > self.effective_capacity() {
+            let Some(victim) = self.select_victim() else { break };
+            self.resident.remove(&victim);
+            self.evictions += 1;
+            self.emergency_evictions += 1;
+            victims.push(victim);
+        }
+        victims
     }
 
     /// Currently allocated blocks.
@@ -157,7 +205,7 @@ impl GpuMemoryManager {
             m.touches += 1;
             return Ok(EvictOutcome::AlreadyResident);
         }
-        if (self.resident.len() as u64) < self.capacity_blocks {
+        if (self.resident.len() as u64) < self.effective_capacity() {
             self.resident.insert(block, BlockMeta { last_migrate: seq, touches: 1 });
             return Ok(EvictOutcome::Allocated);
         }
@@ -170,7 +218,7 @@ impl GpuMemoryManager {
         // the error path exists so a future capacity-0 or concurrent-release
         // bug surfaces as a typed error instead of a panic.
         let mut victims = Vec::new();
-        while (self.resident.len() as u64) >= self.capacity_blocks {
+        while (self.resident.len() as u64) >= self.effective_capacity() {
             let Some(victim) = self.select_victim() else {
                 return Err(UvmError::InvariantViolation {
                     subsystem: "gpu-mem",
@@ -317,6 +365,52 @@ mod tests {
         let c = run(0x5C22)?;
         assert_ne!(a, c, "different seeds should pick different victim orders");
         Ok(())
+    }
+
+    #[test]
+    fn pressure_shrinks_effective_capacity_and_sheds_residents() -> Result<(), UvmError> {
+        let mut mm = GpuMemoryManager::new(8);
+        for i in 1..=8u64 {
+            mm.ensure_resident(VaBlockId(i), i)?;
+        }
+        assert_eq!(mm.resident_blocks(), 8);
+        assert_eq!(mm.effective_capacity(), 8);
+
+        // Reserve 3 blocks away: effective capacity drops, nothing is
+        // evicted until the caller sheds.
+        mm.set_pressure(3);
+        assert_eq!(mm.pressure_reserved(), 3);
+        assert_eq!(mm.effective_capacity(), 5);
+        assert_eq!(mm.resident_blocks(), 8);
+
+        let victims = mm.shed_over_capacity();
+        assert_eq!(victims.len(), 3, "must shed down to effective capacity");
+        assert_eq!(mm.resident_blocks(), 5);
+        assert_eq!(mm.emergency_evictions(), 3);
+        // LRU sheds the earliest-migrated blocks first.
+        assert_eq!(victims, vec![VaBlockId(1), VaBlockId(2), VaBlockId(3)]);
+
+        // New allocations now respect the shrunken capacity.
+        if let EvictOutcome::Evicted(v) = mm.ensure_resident(VaBlockId(9), 9)? {
+            assert_eq!(v.len(), 1);
+        } else {
+            panic!("full-at-effective-capacity must evict");
+        }
+        assert_eq!(mm.resident_blocks(), 5);
+
+        // Pressure lifts: capacity restores, no further shedding needed.
+        mm.set_pressure(0);
+        assert_eq!(mm.effective_capacity(), 8);
+        assert!(mm.shed_over_capacity().is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn pressure_is_clamped_to_leave_one_block() {
+        let mut mm = GpuMemoryManager::new(4);
+        mm.set_pressure(100);
+        assert_eq!(mm.pressure_reserved(), 3);
+        assert_eq!(mm.effective_capacity(), 1);
     }
 
     #[test]

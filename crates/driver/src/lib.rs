@@ -33,6 +33,10 @@
 //!   eviction, population, migration, page-table update, prefetch) →
 //!   flush → replay. Fallible end to end: injected failures are retried
 //!   with deterministic backoff or degrade the block to a remote mapping.
+//! * [`health`] — the graceful-degradation state machine
+//!   (`Healthy → Pressured → Degraded → Resetting`): the driver evaluates
+//!   evidence at every batch boundary and adapts servicing (prefetch
+//!   gating, emergency eviction, reset re-attach) to the device's regime.
 //! * [`audit`] — the cross-layer invariant auditor, cross-checking driver
 //!   state against the GPU page table, the memory manager, the DMA space,
 //!   and host page tables after every batch.
@@ -44,6 +48,7 @@ pub mod bitmap;
 pub mod dedup;
 pub mod engine;
 pub mod evict;
+pub mod health;
 pub mod policy;
 pub mod prefetch;
 pub mod service;
@@ -59,6 +64,7 @@ pub use engine::{
     VictimCandidate,
 };
 pub use evict::{EvictOutcome, GpuMemoryManager};
+pub use health::{HealthEvidence, HealthMachine, HealthState};
 pub use policy::DriverPolicy;
 pub use prefetch::compute_prefetch;
 pub use service::{ServiceScratch, UvmDriver};

@@ -61,6 +61,19 @@ pub struct DriverPolicy {
     /// end of every serviced batch. Off by default: the audit costs real
     /// wall-clock time on large runs (it charges no *simulated* time).
     pub audit_enabled: bool,
+    /// Health escalation: device blocks reserved away from UVM while the
+    /// memory-pressure injection point fires (the sustained-pressure
+    /// failure domain). Clamped so at least one block stays usable. Only
+    /// consulted when the injector fires, so the default perturbs nothing.
+    pub pressure_reserve_blocks: u64,
+    /// Health escalation: cumulative degraded VABlocks at or above which
+    /// the driver enters the `Degraded` state (0 disables escalation).
+    pub degraded_threshold: u64,
+    /// Recovery: fixed re-attach cost the driver pays (charged to
+    /// `t_fixed`) in the batch that absorbs a GPU reset — channel
+    /// re-initialization, fault-buffer re-registration, push-buffer
+    /// re-binding.
+    pub reset_reattach_cost: SimDuration,
 }
 
 impl Default for DriverPolicy {
@@ -81,6 +94,9 @@ impl Default for DriverPolicy {
             max_retries: 3,
             retry_backoff: SimDuration::from_micros(20),
             audit_enabled: false,
+            pressure_reserve_blocks: 8,
+            degraded_threshold: 4,
+            reset_reattach_cost: SimDuration::from_micros(500),
         }
     }
 }
@@ -164,6 +180,25 @@ impl DriverPolicy {
         self.audit_enabled = on;
         self
     }
+
+    /// Builder-style pressure reservation size (blocks withheld while the
+    /// memory-pressure point fires).
+    pub fn pressure_reserve(mut self, blocks: u64) -> Self {
+        self.pressure_reserve_blocks = blocks;
+        self
+    }
+
+    /// Builder-style degraded-escalation threshold (0 disables).
+    pub fn degraded_escalation(mut self, blocks: u64) -> Self {
+        self.degraded_threshold = blocks;
+        self
+    }
+
+    /// Builder-style GPU-reset re-attach cost.
+    pub fn reattach_cost(mut self, d: SimDuration) -> Self {
+        self.reset_reattach_cost = d;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +265,21 @@ mod tests {
         assert_eq!(p.max_retries, 5);
         assert_eq!(p.retry_backoff, SimDuration::from_micros(7));
         assert!(p.audit_enabled);
+    }
+
+    #[test]
+    fn health_defaults_and_builders() {
+        let p = DriverPolicy::default();
+        assert_eq!(p.pressure_reserve_blocks, 8);
+        assert_eq!(p.degraded_threshold, 4);
+        assert_eq!(p.reset_reattach_cost, SimDuration::from_micros(500));
+
+        let p = DriverPolicy::default()
+            .pressure_reserve(16)
+            .degraded_escalation(0)
+            .reattach_cost(SimDuration::from_micros(250));
+        assert_eq!(p.pressure_reserve_blocks, 16);
+        assert_eq!(p.degraded_threshold, 0);
+        assert_eq!(p.reset_reattach_cost, SimDuration::from_micros(250));
     }
 }

@@ -65,6 +65,7 @@ use crate::bitmap::PageBitmap;
 use crate::dedup::{classify_duplicates_with, DedupResult, DedupScratch};
 use crate::engine::{run_prefetch_policy, PrefetchContext};
 use crate::evict::{EvictOutcome, GpuMemoryManager};
+use crate::health::{HealthEvidence, HealthMachine};
 use crate::policy::DriverPolicy;
 use crate::va_space::VaSpace;
 
@@ -96,7 +97,8 @@ pub struct ServiceScratch {
 /// VABlock trees, the eviction bookkeeping (including the evictor's own
 /// RNG stream and LFU counters), the oracle prefetcher's future-access
 /// table, the DMA space (including the reverse radix tree), the jitter RNG
-/// mid-stream, both driver-owned injectors, and the complete batch log, so
+/// mid-stream, every driver-owned injector (transient and sustained), the
+/// health machine, and the complete batch log, so
 /// a restored driver continues bit-identically under any policy stack.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct UvmDriver {
@@ -116,6 +118,20 @@ pub struct UvmDriver {
     inj_copy: PointInjector,
     /// Batch-fetch stall injection.
     inj_fetch: PointInjector,
+    /// Sustained device-memory-pressure injection: consulted once per
+    /// batch; while it fires, `pressure_reserve_blocks` are withheld from
+    /// the memory manager and residency is emergency-evicted to fit.
+    inj_pressure: PointInjector,
+    /// Sustained GPU-reset injection: consulted once per batch; a fire
+    /// destroys the fault buffer, in-flight GMMU state, and μTLB entries,
+    /// and charges the re-attach cost.
+    inj_reset: PointInjector,
+    /// The graceful-degradation health machine, re-evaluated from evidence
+    /// at every batch boundary.
+    health: HealthMachine,
+    /// Cumulative VABlocks degraded to remote mappings over the run — the
+    /// evidence behind the `Degraded` escalation.
+    degraded_total: u64,
     /// Fault-buffer overflow drops already attributed to earlier batches.
     overflow_seen: u64,
     /// The oracle prefetcher's future-access table: per VABlock, every
@@ -142,6 +158,10 @@ impl UvmDriver {
             fault_log: Vec::new(),
             inj_copy: PointInjector::disabled(),
             inj_fetch: PointInjector::disabled(),
+            inj_pressure: PointInjector::disabled(),
+            inj_reset: PointInjector::disabled(),
+            health: HealthMachine::new(),
+            degraded_total: 0,
             overflow_seen: 0,
             oracle_future: BTreeMap::new(),
         }
@@ -155,18 +175,32 @@ impl UvmDriver {
         self.oracle_future = future;
     }
 
-    /// Install the driver-owned fault injectors (DMA map, copy engine,
-    /// batch fetch) from a wired [`Injector`]. Points not taken here belong
-    /// to other subsystems (the GPU fault buffer, the host OS).
+    /// Install the driver-owned fault injectors — the transient points
+    /// (DMA map, copy engine, batch fetch) and the sustained failure
+    /// domains (device memory pressure, GPU reset) — from a wired
+    /// [`Injector`]. Points not taken here belong to other subsystems (the
+    /// GPU fault buffer, the host OS).
     pub fn set_injectors(&mut self, inj: &mut Injector) {
         self.dma.set_injector(inj.take(InjectionPoint::DmaMapFailure));
         self.inj_copy = inj.take(InjectionPoint::CopyEngineFault);
         self.inj_fetch = inj.take(InjectionPoint::BatchFetchStall);
+        self.inj_pressure = inj.take(InjectionPoint::DeviceMemoryPressure);
+        self.inj_reset = inj.take(InjectionPoint::GpuReset);
+    }
+
+    /// The health machine (read access for experiments and the harness).
+    pub fn health(&self) -> &HealthMachine {
+        &self.health
     }
 
     /// Driver policy.
     pub fn policy(&self) -> &DriverPolicy {
         &self.policy
+    }
+
+    /// Cumulative VABlocks degraded to remote mappings over the run.
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded_total
     }
 
     /// The GPU memory manager (read access for experiments).
@@ -291,6 +325,7 @@ impl UvmDriver {
         }
         rec.t_fixed += self.cost.per_batch_fixed;
         span(&rec, self.cost.per_batch_fixed, || TraceEvent::Fixed { batch: seq });
+        host.note_writeback(rec.bytes_evicted / PAGE_SIZE);
         rec.end = start + rec.component_sum();
         uvm_trace::emit_instant(rec.end.0, || TraceEvent::BatchClose {
             batch: seq,
@@ -373,6 +408,87 @@ impl UvmDriver {
         let total_drops = gpu.fault_buffer.overflow_drops();
         rec.dropped_faults = total_drops.saturating_sub(self.overflow_seen);
         self.overflow_seen = total_drops;
+
+        // ---- sustained failure domains (consulted once per batch) ----
+        // Every point owns an independent forked RNG stream and disabled
+        // points draw nothing, so stock runs are bit-identical to the
+        // pre-chaos pipeline.
+        let mut reset_absorbed = false;
+        if self.inj_reset.is_enabled() && self.inj_reset.should_fail(start) {
+            // The GPU lost its fault buffer, in-flight GMMU state, and
+            // μTLB entries. The driver pays the re-attach cost and relies
+            // on the end-of-batch replay to wake the blocked warps; the
+            // destroyed faults then regenerate from the last consistent
+            // point, exactly like overflow-dropped entries.
+            let lost = gpu.reset(start);
+            rec.gpu_resets += 1;
+            rec.reset_lost_faults += lost;
+            rec.t_fixed += self.policy.reset_reattach_cost;
+            span(&rec, self.policy.reset_reattach_cost, || TraceEvent::Fixed { batch: seq });
+            reset_absorbed = true;
+        }
+        // Consult while the point can still fire OR a reservation is
+        // active: an exhausted schedule must still close its window (an
+        // exhausted injector draws nothing, so the guard stays zero-draw).
+        if self.inj_pressure.is_enabled() || self.mem.pressure_reserved() > 0 {
+            if self.inj_pressure.is_enabled() && self.inj_pressure.should_fail(start) {
+                self.mem.set_pressure(self.policy.pressure_reserve_blocks);
+            } else {
+                self.mem.set_pressure(0);
+            }
+            let victims = self.mem.shed_over_capacity();
+            if self.mem.pressure_reserved() > 0 || !victims.is_empty() {
+                let reserved = self.mem.pressure_reserved();
+                let evicted = victims.len() as u64;
+                mark(&rec, || TraceEvent::MemoryPressure { batch: seq, reserved, evicted });
+            }
+            // Emergency eviction: each victim takes the full writeback
+            // path (device→host transfer charged to `t_evict`), same as a
+            // capacity eviction minus the allocation-failure surcharge —
+            // nothing asked for memory; the memory shrank.
+            for victim in victims {
+                rec.evicted_blocks.push(victim.0);
+                let vstate = self.va_space.try_block_mut(victim)?;
+                let evict_pages: Vec<_> =
+                    vstate.gpu_resident.iter_set().map(|i| victim.page_at(i)).collect();
+                let bytes = if vstate.read_duplicated {
+                    0
+                } else {
+                    evict_pages.len() as u64 * PAGE_SIZE
+                };
+                rec.emergency_evictions += 1;
+                rec.bytes_evicted += bytes;
+                let d = self.cost.evict_fixed + self.cost.d2h_time(bytes);
+                rec.t_evict += d;
+                span(&rec, d, || TraceEvent::Evict {
+                    batch: seq,
+                    victim: Some(victim.0),
+                    bytes,
+                });
+                gpu.unmap_pages(evict_pages);
+                vstate.evict();
+                vstate.last_evict_seq = Some(seq);
+            }
+        }
+
+        // ---- health evaluation (batch boundary, before servicing, so the
+        // state gates this batch's speculation) ----
+        let evidence = HealthEvidence {
+            reset_absorbed,
+            pressure_reserved: self.mem.pressure_reserved(),
+            total_degraded: self.degraded_total,
+            degraded_threshold: self.policy.degraded_threshold,
+        };
+        if let Some((from, to)) = self.health.observe(&evidence) {
+            mark(&rec, || TraceEvent::HealthTransition {
+                batch: seq,
+                from: from.name().into(),
+                to: to.name().into(),
+            });
+        }
+        rec.health = self.health.state();
+        rec.pressure_reserved = self.mem.pressure_reserved();
+        let speculation_allowed = self.health.state().prefetch_allowed();
 
         // ---- injected batch-fetch stall: retry the fetch, bounded ----
         let mut attempt = 0u32;
@@ -583,8 +699,11 @@ impl UvmDriver {
             // Prefetch expansion, confined to this block, dispatched
             // through the policy engine. The engine's invariant mask is an
             // identity for the stock tree policy, so TreeDensity output is
-            // bit-identical to a direct `compute_prefetch` call.
-            let prefetched = if self.policy.prefetch_enabled {
+            // bit-identical to a direct `compute_prefetch` call. Any
+            // non-Healthy regime suspends speculation: migrating pages
+            // nobody asked for into a pressured or resetting device is how
+            // real drivers thrash.
+            let prefetched = if self.policy.prefetch_enabled && speculation_allowed {
                 run_prefetch_policy(
                     self.policy.prefetch_policy,
                     &PrefetchContext {
@@ -650,6 +769,9 @@ impl UvmDriver {
             batch: seq,
         });
 
+        // Host-side accounting of this batch's eviction writebacks (normal,
+        // emergency, and degradation paths all accumulate bytes_evicted).
+        host.note_writeback(rec.bytes_evicted / PAGE_SIZE);
         rec.end = start + rec.component_sum();
         uvm_trace::emit_instant(rec.end.0, || TraceEvent::BatchClose {
             batch: seq,
@@ -915,6 +1037,7 @@ impl UvmDriver {
         });
         rec.remote_mapped_pages += n;
         rec.degraded_blocks += 1;
+        self.degraded_total += 1;
         let state = self.va_space.try_block_mut(block_id)?;
         if !read_dup {
             let evicted = state.gpu_resident;
@@ -1607,6 +1730,215 @@ mod tests {
             .expect_err("retries must exhaust");
         assert_eq!(err, UvmError::BatchFetchStall { batch: 0 });
         Ok(())
+    }
+
+    // ---- sustained failure domains & health ----
+
+    use crate::health::HealthState;
+
+    #[test]
+    fn sustained_pressure_forces_emergency_eviction_and_recovers() -> Result<(), UvmError> {
+        // Pressure window spanning batches 1–2: capacity 16 shrinks by 12,
+        // residency sheds to 4, and the window closing restores everything.
+        let plan = FaultPlan::none().with(
+            InjectionPoint::DeviceMemoryPressure,
+            PointPlan::scheduled(SimTime(1_000_000), 2),
+        );
+        let policy = DriverPolicy::default().pressure_reserve(12);
+        let (mut driver, mut gpu, mut host) = inject_setup(16, policy, &plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(16 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+        let blocks: Vec<VaBlockId> = alloc.va_blocks().collect();
+
+        // Batch 0 (pre-window): fill all 16 blocks.
+        let fill: Vec<_> =
+            blocks.iter().map(|b| fault(b.first_page(), 0, AccessKind::Read)).collect();
+        let r0 = driver.service_batch(&fill, &mut gpu, &mut host, SimTime(0))?.clone();
+        assert_eq!(r0.health, HealthState::Healthy);
+        assert_eq!(r0.emergency_evictions, 0);
+        assert_eq!(driver.memory().resident_blocks(), 16);
+
+        // Batch 1: the window opens. 12 blocks shed via full writeback.
+        let r1 = driver
+            .service_batch(
+                &[fault(blocks[15].page_at(1), 0, AccessKind::Read)],
+                &mut gpu,
+                &mut host,
+                SimTime(1_000_000),
+            )?
+            .clone();
+        assert_eq!(r1.health, HealthState::Pressured);
+        assert_eq!(r1.pressure_reserved, 12);
+        assert_eq!(r1.emergency_evictions, 12);
+        assert!(r1.bytes_evicted > 0, "shed blocks write their data back");
+        assert!(r1.t_evict > SimDuration::ZERO);
+        assert_eq!(driver.memory().resident_blocks(), 4);
+        assert_eq!(driver.memory().effective_capacity(), 4);
+        // LRU sheds the earliest blocks; the latest survive.
+        assert!(!gpu.is_resident(blocks[0].first_page()));
+        assert!(gpu.is_resident(blocks[15].first_page()));
+
+        // Batch 2: window persists (burst 2); nothing more to shed.
+        let r2 = driver
+            .service_batch(
+                &[fault(blocks[15].page_at(2), 0, AccessKind::Read)],
+                &mut gpu,
+                &mut host,
+                SimTime(2_000_000),
+            )?
+            .clone();
+        assert_eq!(r2.health, HealthState::Pressured);
+        assert_eq!(r2.emergency_evictions, 0);
+
+        // Batch 3: window closed. Capacity restores, health recovers.
+        let r3 = driver
+            .service_batch(
+                &[fault(blocks[0].first_page(), 0, AccessKind::Read)],
+                &mut gpu,
+                &mut host,
+                SimTime(3_000_000),
+            )?
+            .clone();
+        assert_eq!(r3.health, HealthState::Healthy);
+        assert_eq!(r3.pressure_reserved, 0);
+        assert_eq!(driver.memory().effective_capacity(), 16);
+        assert_eq!(r3.evictions, 0, "restored capacity allocates freely");
+        assert_eq!(driver.health().transitions(), 2, "Healthy→Pressured→Healthy");
+        assert_eq!(driver.health().batches_in(HealthState::Pressured), 2);
+        Ok(())
+    }
+
+    #[test]
+    fn gpu_reset_loses_buffer_state_and_health_recovers() -> Result<(), UvmError> {
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::GpuReset, PointPlan::scheduled(SimTime(1_000_000), 1));
+        let (mut driver, mut gpu, mut host) = inject_setup(16, DriverPolicy::default(), &plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+
+        let r0 = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))?
+            .clone();
+        assert_eq!(r0.gpu_resets, 0);
+        assert_eq!(r0.health, HealthState::Healthy);
+
+        // Entries sitting in the hardware buffer when the reset hits are
+        // destroyed and accounted to the absorbing batch.
+        for i in 8..11u64 {
+            gpu.fault_buffer.push(fault(alloc.page(i), 0, AccessKind::Read));
+        }
+        let r1 = driver
+            .service_batch(
+                &[fault(alloc.page(1), 0, AccessKind::Read)],
+                &mut gpu,
+                &mut host,
+                SimTime(1_000_000),
+            )?
+            .clone();
+        assert_eq!(r1.gpu_resets, 1);
+        assert_eq!(r1.reset_lost_faults, 3, "buffered entries destroyed by the reset");
+        assert_eq!(r1.health, HealthState::Resetting);
+        assert_eq!(gpu.resets, 1);
+        assert_eq!(gpu.fault_buffer.reset_losses(), 3);
+        assert!(
+            r1.t_fixed >= DriverPolicy::default().reset_reattach_cost,
+            "re-attach cost charged"
+        );
+        // Driver-side state survived: the already-migrated page stays
+        // resident and serviceable.
+        assert!(gpu.is_resident(alloc.page(0)));
+
+        let r2 = driver
+            .service_batch(
+                &[fault(alloc.page(2), 0, AccessKind::Read)],
+                &mut gpu,
+                &mut host,
+                SimTime(2_000_000),
+            )?
+            .clone();
+        assert_eq!(r2.health, HealthState::Healthy, "one-batch regime, then recovery");
+        assert_eq!(r2.gpu_resets, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn accumulated_degradations_escalate_health_and_gate_prefetch() -> Result<(), UvmError> {
+        // One copy-engine failure with a zero retry budget degrades block
+        // 0; threshold 1 escalates the driver to Degraded, which must
+        // suppress speculative prefetch on later (healthy-path) batches.
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::CopyEngineFault, PointPlan::scheduled(SimTime(0), 1));
+        let policy = DriverPolicy::with_prefetch().retries(0).degraded_escalation(1);
+        let (mut driver, mut gpu, mut host) = inject_setup(16, policy, &plan);
+        let mut asa = AddressSpaceAllocator::new();
+        let alloc = asa.alloc(2 * VABLOCK_SIZE);
+        driver.managed_alloc(alloc);
+
+        let r0 = driver
+            .service_batch(&[fault(alloc.page(0), 0, AccessKind::Read)], &mut gpu, &mut host, SimTime(0))?
+            .clone();
+        assert_eq!(r0.degraded_blocks, 1);
+        assert_eq!(r0.health, HealthState::Healthy, "evidence is a batch-boundary view");
+
+        // Dense faults on the healthy second block: 12 of the first 16
+        // pages would prefetch the remaining 4 under TreeDensity — but the
+        // driver is Degraded now.
+        let faults: Vec<_> =
+            (512..524).map(|i| fault(alloc.page(i), 0, AccessKind::Read)).collect();
+        let r1 = driver
+            .service_batch(&faults, &mut gpu, &mut host, SimTime(1_000_000))?
+            .clone();
+        assert_eq!(r1.health, HealthState::Degraded);
+        assert_eq!(r1.prefetched_pages, 0, "degraded driver does not speculate");
+        assert_eq!(r1.pages_migrated, 12, "demand servicing continues");
+
+        // Degradation is sticky: with the threshold still crossed, the
+        // state persists.
+        let r2 = driver
+            .service_batch(
+                &[fault(alloc.page(524), 0, AccessKind::Read)],
+                &mut gpu,
+                &mut host,
+                SimTime(2_000_000),
+            )?
+            .clone();
+        assert_eq!(r2.health, HealthState::Degraded);
+        Ok(())
+    }
+
+    #[test]
+    fn sustained_injection_is_seed_deterministic() {
+        // Stochastic pressure and reset points composed over a transient
+        // plan: identical seeds must produce byte-identical record streams
+        // (including health states and emergency-eviction accounting).
+        let run = |seed: u64| {
+            let plan = FaultPlan::uniform(0.1)
+                .with(InjectionPoint::DeviceMemoryPressure, PointPlan::with_probability(0.3))
+                .with(InjectionPoint::GpuReset, PointPlan::with_probability(0.15));
+            let policy = DriverPolicy::default().pressure_reserve(2);
+            let cost = CostModel::titan_v();
+            let mut driver = UvmDriver::new(policy, cost.clone(), 4, seed);
+            let mut gpu = Gpu::new(GpuSpec::small(4 * VABLOCK_SIZE), cost);
+            let mut host = HostMemory::new();
+            let mut inj = Injector::new(&plan, seed);
+            gpu.fault_buffer.set_injector(inj.take(InjectionPoint::FaultBufferOverflow));
+            host.set_injector(inj.take(InjectionPoint::HostPopulateFailure));
+            driver.set_injectors(&mut inj);
+            let mut asa = AddressSpaceAllocator::new();
+            let alloc = asa.alloc(8 * VABLOCK_SIZE);
+            driver.managed_alloc(alloc);
+            for round in 0..20u64 {
+                let faults: Vec<_> = (0..16)
+                    .map(|i| fault(alloc.page((round * 97 + i * 31) % 4096), (i % 4) as u32, AccessKind::Read))
+                    .collect();
+                let _ = driver.service_batch(&faults, &mut gpu, &mut host, SimTime(round * 1_000_000));
+            }
+            serde_json::to_string(&driver.records).expect("records serialize")
+        };
+        assert_eq!(run(0x5C21), run(0x5C21), "same seed, byte-identical records");
+        assert_ne!(run(0x5C21), run(0x1234), "different seed diverges");
     }
 
     #[test]

@@ -83,6 +83,8 @@ pub struct Gpu {
     pub kernel_end: SimTime,
     /// Monotone count of replays issued.
     pub replays: u64,
+    /// Monotone count of GPU resets suffered.
+    pub resets: u64,
 }
 
 impl Gpu {
@@ -104,6 +106,7 @@ impl Gpu {
             done_warps: 0,
             kernel_end: SimTime::ZERO,
             replays: 0,
+            resets: 0,
             page_table: HashSet::new(),
             spec,
             cost,
@@ -154,6 +157,11 @@ impl Gpu {
         self.done_warps == self.warps.len()
     }
 
+    /// Warps currently stalled waiting for a replay.
+    pub fn blocked_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.status == WarpStatus::Blocked).count()
+    }
+
     /// Read access to a warp (tests, instrumentation).
     pub fn warp(&self, wid: u32) -> &Warp {
         &self.warps[wid as usize]
@@ -191,6 +199,33 @@ impl Gpu {
     /// Returns the number of entries dropped.
     pub fn flush(&mut self) -> u64 {
         self.fault_buffer.flush() + self.gmmu.flush()
+    }
+
+    /// A GPU reset: the fault buffer, in-flight GMMU arbitration, and all
+    /// μTLB outstanding-fault tracking are lost. Returns the number of
+    /// fault entries destroyed.
+    ///
+    /// Blocked warps are *not* woken here — their faults are simply gone
+    /// from hardware. The driver re-attaches and issues a replay (the
+    /// normal end-of-batch one), which wakes the warps; the lost accesses
+    /// then re-fault exactly like overflow-dropped entries do, so forward
+    /// progress is preserved from the last consistent point.
+    pub fn reset(&mut self, now: SimTime) -> u64 {
+        self.resets += 1;
+        let dropped = self.fault_buffer.reset() + self.gmmu.flush();
+        for u in &mut self.utlbs {
+            u.reset();
+        }
+        uvm_trace::emit_instant(now.0, || uvm_trace::TraceEvent::GpuReset {
+            seq: self.resets,
+            dropped,
+        });
+        dropped
+    }
+
+    /// Aggregate μTLB entries lost to GPU resets.
+    pub fn utlb_reset_losses(&self) -> u64 {
+        self.utlbs.iter().map(|u| u.reset_losses()).sum()
     }
 
     /// Fault replay: clear μTLB waiting state and wake every blocked warp.
@@ -679,6 +714,42 @@ mod tests {
         assert_eq!(recs2.len(), 16, "dropped accesses re-fault");
         let batch2 = gpu.fault_buffer.fetch(256, SimTime(u64::MAX / 2));
         gpu.map_pages(batch2.iter().map(|f| f.page));
+        gpu.flush();
+        for (w, t) in gpu.replay(SimTime(2_000_000)) {
+            let _ = gpu.step_warp(w, t);
+        }
+        assert!(gpu.all_done());
+        assert_eq!(gpu.resident_pages(), 32);
+    }
+
+    #[test]
+    fn reset_loses_state_but_replay_recovers_the_run() {
+        // A reset destroys the buffered faults and μTLB tracking; the
+        // subsequent (driver-issued) replay wakes the blocked warp and the
+        // lost accesses re-fault — same recovery shape as overflow drops.
+        let mut gpu = small_gpu();
+        let prog = WarpProgram {
+            instrs: vec![Instr::Load { pages: (0..32).map(PageNum).collect() }],
+        };
+        let a = gpu.launch(vec![prog]);
+        let _ = gpu.step_warp(a[0], SimTime::ZERO);
+        let recs = gpu.drain_faults();
+        assert_eq!(recs.len(), 32);
+        // Hardware loses everything before the driver fetched a single one.
+        let dropped = gpu.reset(SimTime(500));
+        assert_eq!(dropped, 32);
+        assert_eq!(gpu.resets, 1);
+        assert_eq!(gpu.fault_buffer.reset_losses(), 32);
+        assert_eq!(gpu.utlb_reset_losses(), 32);
+        assert_eq!(gpu.utlb_occupancy(gpu.warp(a[0]).utlb), 0);
+        // Driver re-attaches and replays: the warp re-faults all 32 pages.
+        for (w, t) in gpu.replay(SimTime(1_000_000)) {
+            let _ = gpu.step_warp(w, t);
+        }
+        let recs2 = gpu.drain_faults();
+        assert_eq!(recs2.len(), 32, "lost accesses re-fault after replay");
+        let batch = gpu.fault_buffer.fetch(256, SimTime(u64::MAX / 2));
+        gpu.map_pages(batch.iter().map(|f| f.page));
         gpu.flush();
         for (w, t) in gpu.replay(SimTime(2_000_000)) {
             let _ = gpu.step_warp(w, t);

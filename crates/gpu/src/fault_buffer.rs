@@ -24,6 +24,8 @@ pub struct FaultBuffer {
     overflow_drops: u64,
     /// Monotone count of entries dropped by driver flushes.
     flush_drops: u64,
+    /// Monotone count of entries lost to GPU resets.
+    reset_losses: u64,
     /// Monotone count of entries ever inserted.
     total_inserted: u64,
     /// Overflow-storm injection (disabled by default; see `uvm_sim::inject`).
@@ -38,6 +40,7 @@ impl FaultBuffer {
             capacity,
             overflow_drops: 0,
             flush_drops: 0,
+            reset_losses: 0,
             total_inserted: 0,
             injector: PointInjector::disabled(),
         }
@@ -125,9 +128,25 @@ impl FaultBuffer {
         dropped
     }
 
+    /// A GPU reset loses every buffered entry. Unlike [`FaultBuffer::flush`]
+    /// this is not a driver-ordered drop: the entries vanish from hardware,
+    /// and are accounted separately so reset damage is distinguishable from
+    /// routine pre-replay flushes. Returns the number lost.
+    pub fn reset(&mut self) -> u64 {
+        let lost = self.entries.len() as u64;
+        self.entries.clear();
+        self.reset_losses += lost;
+        lost
+    }
+
     /// Monotone count of hardware overflow drops.
     pub fn overflow_drops(&self) -> u64 {
         self.overflow_drops
+    }
+
+    /// Monotone count of entries lost to GPU resets.
+    pub fn reset_losses(&self) -> u64 {
+        self.reset_losses
     }
 
     /// Monotone count of flush drops.
@@ -226,6 +245,22 @@ mod tests {
         assert_eq!(b.overflow_drops(), 3);
         assert_eq!(b.total_inserted(), 2);
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn reset_losses_are_separate_from_flush_drops() {
+        let mut b = FaultBuffer::new(8);
+        for i in 0..4 {
+            b.push(fault(i, i));
+        }
+        assert_eq!(b.reset(), 4);
+        assert!(b.is_empty());
+        assert_eq!(b.reset_losses(), 4);
+        assert_eq!(b.flush_drops(), 0);
+        b.push(fault(9, 9));
+        assert_eq!(b.flush(), 1);
+        assert_eq!(b.flush_drops(), 1);
+        assert_eq!(b.reset_losses(), 4);
     }
 
     #[test]

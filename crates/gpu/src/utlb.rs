@@ -32,6 +32,9 @@ pub struct Utlb {
     limit: u32,
     /// Monotone count of stall events due to a full μTLB.
     full_stalls: u64,
+    /// Monotone count of entries lost to GPU resets (distinct from the
+    /// orderly clears a replay performs).
+    reset_losses: u64,
 }
 
 impl Utlb {
@@ -41,6 +44,7 @@ impl Utlb {
             outstanding: HashSet::with_capacity(limit as usize),
             limit,
             full_stalls: 0,
+            reset_losses: 0,
         }
     }
 
@@ -82,6 +86,21 @@ impl Utlb {
     pub fn replay(&mut self) {
         self.outstanding.clear();
     }
+
+    /// A GPU reset loses the tracking state outright: entries vanish
+    /// without the orderly hand-off a replay performs. Returns the number
+    /// of entries lost (also accumulated in [`Utlb::reset_losses`]).
+    pub fn reset(&mut self) -> u64 {
+        let lost = self.outstanding.len() as u64;
+        self.reset_losses += lost;
+        self.outstanding.clear();
+        lost
+    }
+
+    /// Monotone count of entries lost to GPU resets.
+    pub fn reset_losses(&self) -> u64 {
+        self.reset_losses
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +137,22 @@ mod tests {
         u.replay();
         assert_eq!(u.occupancy(), 0);
         assert_eq!(u.try_insert(PageNum(9)), UtlbInsert::Inserted);
+    }
+
+    #[test]
+    fn reset_loses_entries_and_counts_them() {
+        let mut u = Utlb::new(8);
+        for i in 0..5 {
+            u.try_insert(PageNum(i));
+        }
+        assert_eq!(u.reset(), 5);
+        assert_eq!(u.occupancy(), 0);
+        assert_eq!(u.reset_losses(), 5);
+        // A reset is not a replay-ordered clear; replay accounting is
+        // untouched and the μTLB is immediately usable again.
+        assert_eq!(u.try_insert(PageNum(9)), UtlbInsert::Inserted);
+        assert_eq!(u.reset(), 1);
+        assert_eq!(u.reset_losses(), 6);
     }
 
     #[test]

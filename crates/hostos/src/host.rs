@@ -81,6 +81,10 @@ pub struct HostMemory {
     worker_core: u32,
     /// Monotone counter of `unmap_mapping_range` invocations.
     unmap_calls: u64,
+    /// Pages written back into host memory by device evictions (normal
+    /// and emergency). Pure accounting: the pages become CPU-touchable
+    /// again lazily, so no page-table state changes here.
+    writeback_pages: u64,
     /// Host page-table failure injection (disabled by default).
     injector: PointInjector,
 }
@@ -143,6 +147,19 @@ impl HostMemory {
     /// Number of `unmap_mapping_range` calls made so far.
     pub fn unmap_calls(&self) -> u64 {
         self.unmap_calls
+    }
+
+    /// Record `pages` written back to host memory by a device eviction.
+    /// The driver calls this whenever an evicted VABlock carries data the
+    /// host does not already hold (i.e. the eviction performed a D2H
+    /// transfer rather than a silent drop).
+    pub fn note_writeback(&mut self, pages: u64) {
+        self.writeback_pages += pages;
+    }
+
+    /// Total pages evictions have written back into host memory.
+    pub fn writeback_pages(&self) -> u64 {
+        self.writeback_pages
     }
 
     /// Install the host page-table failure injector (the
@@ -327,6 +344,17 @@ mod tests {
         // One-shot trigger consumed: the retry succeeds.
         let report = hm.try_unmap_mapping_range(VaBlockId(11), SimTime(1)).unwrap();
         assert_eq!(report.pages_unmapped, 16);
+    }
+
+    #[test]
+    fn writeback_accounting_accumulates() {
+        let mut hm = HostMemory::new();
+        assert_eq!(hm.writeback_pages(), 0);
+        hm.note_writeback(512);
+        hm.note_writeback(12);
+        assert_eq!(hm.writeback_pages(), 524);
+        // Accounting is orthogonal to the page table: nothing is mapped.
+        assert_eq!(hm.mapped_pages(), 0);
     }
 
     #[test]

@@ -17,11 +17,16 @@
 //!   so a run with an empty plan is bit-for-bit identical to a run built
 //!   before this module existed.
 //!
-//! The five injection points mirror the failure modes the paper's pipeline
-//! is exposed to in a real driver: replayable-buffer overflow storms,
-//! DMA-map (IOMMU) failures, copy-engine faults during migration, host
-//! page-table populate failures, and batch-fetch stalls of the driver
-//! worker.
+//! The first five injection points are *transient*: they mirror the
+//! one-shot failure modes the paper's pipeline is exposed to in a real
+//! driver — replayable-buffer overflow storms, DMA-map (IOMMU) failures,
+//! copy-engine faults during migration, host page-table populate failures,
+//! and batch-fetch stalls of the driver worker. The last two are
+//! *sustained failure domains*: device memory pressure (capacity shrinks
+//! while the point keeps firing, forcing emergency eviction) and GPU reset
+//! (fault buffer and μTLB state lost; the driver re-attaches and replays).
+//! The driver consults a sustained point once per batch, so a trigger with
+//! `burst = N` models N consecutive batches inside the failure window.
 
 use serde::{Deserialize, Serialize};
 
@@ -42,11 +47,34 @@ pub enum InjectionPoint {
     HostPopulateFailure,
     /// The driver worker stalls fetching a fault batch.
     BatchFetchStall,
+    /// Sustained device memory pressure: while the point fires (once per
+    /// batch), part of device memory is reserved away from UVM and the
+    /// driver must emergency-evict down to the shrunken capacity.
+    DeviceMemoryPressure,
+    /// GPU reset: the fault buffer, GMMU arbitration queues, and μTLB
+    /// tracking state are lost; the driver pays a re-attach cost and the
+    /// lost faults regenerate after the next replay.
+    GpuReset,
 }
 
 impl InjectionPoint {
-    /// All five points, in a fixed order (used for seed derivation).
-    pub const ALL: [InjectionPoint; 5] = [
+    /// All points, in a fixed order (used for seed derivation). New points
+    /// are appended, never inserted: each fork consumes one draw from the
+    /// injector root stream, so append-only ordering keeps the streams of
+    /// pre-existing points bit-identical across simulator versions.
+    pub const ALL: [InjectionPoint; 7] = [
+        InjectionPoint::FaultBufferOverflow,
+        InjectionPoint::DmaMapFailure,
+        InjectionPoint::CopyEngineFault,
+        InjectionPoint::HostPopulateFailure,
+        InjectionPoint::BatchFetchStall,
+        InjectionPoint::DeviceMemoryPressure,
+        InjectionPoint::GpuReset,
+    ];
+
+    /// The five transient (one-shot operation failure) points — the
+    /// original PR 1 failure model, excluding the sustained domains.
+    pub const TRANSIENT: [InjectionPoint; 5] = [
         InjectionPoint::FaultBufferOverflow,
         InjectionPoint::DmaMapFailure,
         InjectionPoint::CopyEngineFault,
@@ -62,6 +90,8 @@ impl InjectionPoint {
             InjectionPoint::CopyEngineFault => "copy-engine",
             InjectionPoint::HostPopulateFailure => "host-populate",
             InjectionPoint::BatchFetchStall => "fetch-stall",
+            InjectionPoint::DeviceMemoryPressure => "mem-pressure",
+            InjectionPoint::GpuReset => "gpu-reset",
         }
     }
 
@@ -73,6 +103,8 @@ impl InjectionPoint {
             InjectionPoint::CopyEngineFault => 0x5_0C5,
             InjectionPoint::HostPopulateFailure => 0x7_0B7,
             InjectionPoint::BatchFetchStall => 0x9_0A9,
+            InjectionPoint::DeviceMemoryPressure => 0xB_093,
+            InjectionPoint::GpuReset => 0xD_087,
         }
     }
 }
@@ -131,6 +163,10 @@ pub struct FaultPlan {
     pub host_populate: PointPlan,
     /// Driver batch-fetch stalls.
     pub fetch_stall: PointPlan,
+    /// Sustained device memory pressure windows.
+    pub mem_pressure: PointPlan,
+    /// GPU resets (fault buffer + μTLB state lost).
+    pub gpu_reset: PointPlan,
 }
 
 impl FaultPlan {
@@ -139,11 +175,14 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// A plan failing **every** point independently with probability `p`
-    /// (the shape the `ext_inject` sweep uses).
+    /// A plan failing every **transient** point independently with
+    /// probability `p` (the shape the `ext_inject` sweep uses). The
+    /// sustained domains (memory pressure, GPU reset) stay disabled; they
+    /// are batch-scoped regimes, not per-operation failures, and are
+    /// composed explicitly (e.g. by the chaos fuzzer).
     pub fn uniform(p: f64) -> Self {
         let mut plan = FaultPlan::none();
-        for point in InjectionPoint::ALL {
+        for point in InjectionPoint::TRANSIENT {
             plan.point_mut(point).probability = p;
         }
         plan
@@ -157,6 +196,8 @@ impl FaultPlan {
             InjectionPoint::CopyEngineFault => &self.copy_engine,
             InjectionPoint::HostPopulateFailure => &self.host_populate,
             InjectionPoint::BatchFetchStall => &self.fetch_stall,
+            InjectionPoint::DeviceMemoryPressure => &self.mem_pressure,
+            InjectionPoint::GpuReset => &self.gpu_reset,
         }
     }
 
@@ -168,6 +209,8 @@ impl FaultPlan {
             InjectionPoint::CopyEngineFault => &mut self.copy_engine,
             InjectionPoint::HostPopulateFailure => &mut self.host_populate,
             InjectionPoint::BatchFetchStall => &mut self.fetch_stall,
+            InjectionPoint::DeviceMemoryPressure => &mut self.mem_pressure,
+            InjectionPoint::GpuReset => &mut self.gpu_reset,
         }
     }
 
@@ -300,7 +343,7 @@ impl PointInjector {
 /// child, so draw counts at one site never shift another site's sequence.
 #[derive(Debug)]
 pub struct Injector {
-    points: [PointInjector; 5],
+    points: [PointInjector; 7],
 }
 
 impl Injector {
@@ -427,14 +470,58 @@ mod tests {
     }
 
     #[test]
-    fn uniform_plan_enables_every_point() {
+    fn uniform_plan_enables_every_transient_point() {
         let plan = FaultPlan::uniform(0.3);
         assert!(plan.is_enabled());
-        for p in InjectionPoint::ALL {
+        for p in InjectionPoint::TRANSIENT {
             assert!(plan.point(p).is_enabled(), "{} should be enabled", p.name());
             assert_eq!(plan.point(p).probability, 0.3);
         }
+        // The sustained domains are regimes, not per-op failures: uniform
+        // leaves them disabled.
+        assert!(!plan.point(InjectionPoint::DeviceMemoryPressure).is_enabled());
+        assert!(!plan.point(InjectionPoint::GpuReset).is_enabled());
         assert!(!FaultPlan::none().is_enabled());
+    }
+
+    #[test]
+    fn sustained_points_compose_like_any_other() {
+        // A pressure window of 3 batches starting at t=100, plus one
+        // scheduled reset: both fire on their own streams without touching
+        // the transient points.
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::DeviceMemoryPressure, PointPlan::scheduled(SimTime(100), 3))
+            .with(InjectionPoint::GpuReset, PointPlan::scheduled(SimTime(500), 1));
+        assert!(plan.is_enabled());
+        let mut inj = Injector::new(&plan, 17);
+        let mut pressure = inj.take(InjectionPoint::DeviceMemoryPressure);
+        let mut reset = inj.take(InjectionPoint::GpuReset);
+        // Consulted once per batch: three consecutive pressured batches.
+        assert!(!pressure.should_fail(SimTime(0)));
+        assert!(pressure.should_fail(SimTime(100)));
+        assert!(pressure.should_fail(SimTime(200)));
+        assert!(pressure.should_fail(SimTime(300)));
+        assert!(!pressure.should_fail(SimTime(400)));
+        assert!(!reset.should_fail(SimTime(400)));
+        assert!(reset.should_fail(SimTime(500)));
+        assert!(!reset.should_fail(SimTime(600)));
+    }
+
+    #[test]
+    fn appending_sustained_points_preserved_transient_streams() {
+        // Regression pin: the per-point fire patterns of the original five
+        // transient points under seed 123 / p = 0.2 must never change —
+        // new injection points are appended to `ALL`, so earlier forks of
+        // the root stream are unaffected.
+        let plan = FaultPlan::none()
+            .with(InjectionPoint::DmaMapFailure, PointPlan::with_probability(0.2));
+        let mut inj = Injector::new(&plan, 123);
+        let mut dma = inj.take(InjectionPoint::DmaMapFailure);
+        let fires: Vec<u64> =
+            (0..64).filter(|&t| dma.should_fail(SimTime(t))).collect();
+        // Pattern captured from the five-point injector before the
+        // sustained domains were appended.
+        assert_eq!(fires, vec![3, 5, 7, 14, 21, 32, 33, 34, 35, 44, 47, 48, 57, 58, 60]);
     }
 
     #[test]

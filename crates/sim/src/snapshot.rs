@@ -22,7 +22,10 @@ use serde::Value;
 
 /// Version of the snapshot format. Bump whenever the shape of any
 /// subsystem's serialized state changes; restore rejects mismatches.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// History: v1 — initial format; v2 — sustained failure domains (driver
+/// health machine, memory-pressure reservation, GPU reset counters).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;

@@ -155,12 +155,20 @@ pub enum TraceEvent {
         /// Warps woken by this replay.
         woken: u64,
     },
+    /// The GPU reset: fault buffer, GMMU queues, and μTLB tracking state
+    /// were lost; in-flight faults regenerate after the next replay.
+    GpuReset {
+        /// Monotone reset ordinal (1-based).
+        seq: u64,
+        /// Buffered + in-flight fault entries lost to the reset.
+        dropped: u64,
+    },
 
     // ---- sim ----
     /// A fault-injection point fired.
     InjectionFired {
         /// Stable point name (`overflow`, `dma-map`, `copy-engine`,
-        /// `host-populate`, `fetch-stall`).
+        /// `host-populate`, `fetch-stall`, `mem-pressure`, `gpu-reset`).
         point: String,
     },
 
@@ -254,6 +262,25 @@ pub enum TraceEvent {
         faulted: u64,
         /// Pages added by tree-density expansion.
         prefetched: u64,
+    },
+    /// The driver's health state machine transitioned.
+    HealthTransition {
+        /// Batch sequence number at which the transition was observed.
+        batch: u64,
+        /// State left (`healthy`, `pressured`, `degraded`, `resetting`).
+        from: String,
+        /// State entered.
+        to: String,
+    },
+    /// Device memory pressure changed: `reserved` blocks are currently
+    /// withheld from UVM (0 = pressure lifted).
+    MemoryPressure {
+        /// Batch sequence number observing the change.
+        batch: u64,
+        /// Device blocks reserved away from UVM.
+        reserved: u64,
+        /// Blocks emergency-evicted to fit the shrunken capacity.
+        evicted: u64,
     },
     /// The eviction policy picked victims for a full device (instant,
     /// emitted once per eviction episode — the per-victim costs are the
@@ -376,7 +403,10 @@ impl TraceEvent {
             TraceEvent::FaultGenerated { .. } => "fault-generated",
             TraceEvent::FaultDropped { .. } => "fault-dropped",
             TraceEvent::Replay { .. } => "replay",
+            TraceEvent::GpuReset { .. } => "gpu-reset",
             TraceEvent::InjectionFired { .. } => "injection-fired",
+            TraceEvent::HealthTransition { .. } => "health-transition",
+            TraceEvent::MemoryPressure { .. } => "memory-pressure",
             TraceEvent::HostUnmap { .. } => "host-unmap",
             TraceEvent::DmaMap { .. } => "dma-map",
             TraceEvent::BatchOpen { .. } => "batch-open",
@@ -408,7 +438,8 @@ impl TraceEvent {
             | TraceEvent::BufferFlush { .. } => Subsystem::Engine,
             TraceEvent::FaultGenerated { .. }
             | TraceEvent::FaultDropped { .. }
-            | TraceEvent::Replay { .. } => Subsystem::Gpu,
+            | TraceEvent::Replay { .. }
+            | TraceEvent::GpuReset { .. } => Subsystem::Gpu,
             TraceEvent::InjectionFired { .. } => Subsystem::Sim,
             TraceEvent::HostUnmap { .. } | TraceEvent::DmaMap { .. } => Subsystem::HostOs,
             _ => Subsystem::Driver,
@@ -446,6 +477,8 @@ impl TraceEvent {
         match self {
             TraceEvent::BatchOpen { batch, .. }
             | TraceEvent::BatchClose { batch, .. }
+            | TraceEvent::HealthTransition { batch, .. }
+            | TraceEvent::MemoryPressure { batch, .. }
             | TraceEvent::DedupHit { batch, .. }
             | TraceEvent::FaultServiced { batch, .. }
             | TraceEvent::PrefetchDecision { batch, .. }
